@@ -1,0 +1,37 @@
+//! Benchmark: ablation configurations (instruction-queue depth and MSHR
+//! count) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmt_bench::{bench_params, BENCH_INSTRUCTIONS};
+use dsmt_core::SimConfig;
+use dsmt_experiments::runner::run_spec;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(criterion::Throughput::Elements(BENCH_INSTRUCTIONS));
+
+    for iq in [8usize, 48, 96] {
+        let mut cfg = SimConfig::paper_multithreaded(4).with_l2_latency(64);
+        cfg.iq_capacity = iq;
+        group.bench_with_input(BenchmarkId::new("iq_depth", iq), &cfg, |b, cfg| {
+            b.iter(|| run_spec(cfg.clone(), &params));
+        });
+    }
+    for mshrs in [4usize, 64] {
+        let mut cfg = SimConfig::paper_multithreaded(4).with_l2_latency(64);
+        cfg.mem.l1d.mshrs = mshrs;
+        group.bench_with_input(BenchmarkId::new("mshrs", mshrs), &cfg, |b, cfg| {
+            b.iter(|| run_spec(cfg.clone(), &params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

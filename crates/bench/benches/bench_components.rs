@@ -1,0 +1,71 @@
+//! Benchmark: individual substrate components — synthetic trace generation,
+//! L1 cache accesses, branch prediction, and raw simulator stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsmt_core::{Processor, SimConfig};
+use dsmt_mem::{AccessKind, MemConfig, MemorySystem};
+use dsmt_trace::{spec_fp95_profile, SyntheticTrace, TraceSource};
+use dsmt_uarch::BranchPredictor;
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let profile = spec_fp95_profile("tomcatv").expect("known benchmark");
+    let mut group = c.benchmark_group("components");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("synthetic_trace_10k_instructions", |b| {
+        b.iter(|| {
+            let mut t = SyntheticTrace::new(&profile, 1);
+            let mut count = 0u64;
+            for _ in 0..10_000 {
+                count += u64::from(t.next_instruction().is_some());
+            }
+            count
+        });
+    });
+
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("l1_cache_10k_accesses", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::paper_default());
+            let mut hits = 0u64;
+            for i in 0..10_000u64 {
+                mem.begin_cycle(i);
+                if let dsmt_mem::AccessResponse::Done { hit: true, .. } =
+                    mem.try_access(i, (i * 24) % (1 << 20), AccessKind::Load)
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("branch_predictor_10k_updates", |b| {
+        b.iter(|| {
+            let mut p = BranchPredictor::paper_default();
+            let mut correct = 0u64;
+            for i in 0..10_000u64 {
+                correct += u64::from(p.predict_and_train(i % 512 * 4, i % 7 != 0));
+            }
+            correct
+        });
+    });
+
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("processor_10k_cycles_4_threads", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::with_spec_workload(SimConfig::paper_multithreaded(4), 1);
+            cpu.run_cycles(10_000).instructions
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

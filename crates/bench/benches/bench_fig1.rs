@@ -1,0 +1,31 @@
+//! Benchmark: regenerating Figure 1 data points (single-threaded decoupled
+//! latency hiding) for representative benchmarks and L2 latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmt_bench::{bench_params, BENCH_INSTRUCTIONS};
+use dsmt_experiments::fig1::fig1_config;
+use dsmt_experiments::runner::run_single_benchmark;
+use dsmt_trace::spec_fp95_profile;
+use std::time::Duration;
+
+fn bench_fig1(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig1_single_thread_latency_hiding");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(criterion::Throughput::Elements(BENCH_INSTRUCTIONS));
+    for bench in ["tomcatv", "fpppp", "hydro2d"] {
+        for lat in [16u64, 256] {
+            let profile = spec_fp95_profile(bench).expect("known benchmark");
+            group.bench_with_input(BenchmarkId::new(bench, lat), &lat, |b, &lat| {
+                b.iter(|| run_single_benchmark(fig1_config(lat), &profile, &params));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmark: regenerating Figure 3 data points (issue-slot breakdown of
+//! the multithreaded decoupled machine) for 1, 3 and 6 hardware contexts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmt_bench::{bench_params, BENCH_INSTRUCTIONS};
+use dsmt_experiments::fig3::fig3_config;
+use dsmt_experiments::runner::run_spec;
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig3_issue_slot_breakdown");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(criterion::Throughput::Elements(BENCH_INSTRUCTIONS));
+    for threads in [1usize, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_spec(fig3_config(threads), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

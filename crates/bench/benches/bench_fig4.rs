@@ -1,0 +1,40 @@
+//! Benchmark: regenerating Figure 4 data points (latency tolerance of the
+//! multithreaded decoupled machine vs the non-decoupled one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmt_bench::{bench_params, BENCH_INSTRUCTIONS};
+use dsmt_experiments::fig4::fig4_config;
+use dsmt_experiments::runner::run_spec;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig4_latency_tolerance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(criterion::Throughput::Elements(BENCH_INSTRUCTIONS));
+    for (threads, decoupled, lat) in [
+        (4usize, true, 256u64),
+        (4, false, 256),
+        (1, true, 64),
+        (1, false, 64),
+    ] {
+        let label = format!(
+            "{threads}T-{}-L2={lat}",
+            if decoupled { "dec" } else { "nondec" }
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(threads, decoupled, lat),
+            |b, &(threads, decoupled, lat)| {
+                b.iter(|| run_spec(fig4_config(threads, decoupled, lat), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmark: regenerating Figure 5 data points (IPC and bus utilisation vs
+//! number of hardware contexts at a 64-cycle L2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmt_bench::{bench_params, BENCH_INSTRUCTIONS};
+use dsmt_experiments::fig5::fig5_config;
+use dsmt_experiments::runner::run_spec;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig5_thread_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(criterion::Throughput::Elements(BENCH_INSTRUCTIONS));
+    for (threads, decoupled) in [(4usize, true), (4, false), (12, true), (12, false)] {
+        let label = format!("{threads}T-{}", if decoupled { "dec" } else { "nondec" });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(threads, decoupled),
+            |b, &(threads, decoupled)| {
+                b.iter(|| run_spec(fig5_config(threads, decoupled, 64), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! figures at reduced scale.
+//!
+//! Each benchmark target (`bench_fig1` .. `bench_fig5`, `bench_ablations`)
+//! wraps the corresponding experiment from `dsmt-experiments` with a small
+//! instruction budget, so `cargo bench` both exercises the full simulation
+//! pipeline and reports how long regenerating each figure takes.
+//! `bench_components` measures the individual substrates (cache, predictor,
+//! trace generation, single-cycle stepping).
+
+use dsmt_experiments::ExperimentParams;
+
+/// Instructions per simulated data point used by the figure benchmarks.
+pub const BENCH_INSTRUCTIONS: u64 = 30_000;
+
+/// Experiment parameters used by the figure benchmarks: small, deterministic
+/// and single-worker (Criterion already controls repetition).
+#[must_use]
+pub fn bench_params() -> ExperimentParams {
+    ExperimentParams {
+        instructions_per_point: BENCH_INSTRUCTIONS,
+        insts_per_program: 10_000,
+        seed: 42,
+        workers: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_params_are_small_and_single_worker() {
+        let p = bench_params();
+        assert_eq!(p.workers, 1);
+        assert!(p.instructions_per_point <= 50_000);
+    }
+}

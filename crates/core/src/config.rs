@@ -1,0 +1,381 @@
+//! Simulator configuration.
+
+use dsmt_mem::MemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multithreaded decoupled processor.
+///
+/// The defaults mirror the paper's Figure 2 parameters. Use
+/// [`SimConfig::paper_multithreaded`] for the Section 3 machine and
+/// [`SimConfig::paper_single_thread_4wide`] for the Section 2 machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of hardware contexts (threads).
+    pub num_threads: usize,
+    /// Whether the architecture is decoupled (instruction queues enabled).
+    /// When `false`, the per-thread EP instruction queue is restricted to
+    /// [`SimConfig::non_decoupled_iq_capacity`] entries, which prevents the
+    /// AP from slipping ahead of the EP — the paper's "degenerated version
+    /// ... where the instruction queues are disabled".
+    pub decoupled: bool,
+    /// How many threads may access the I-cache (fetch) per cycle (paper: 2).
+    pub fetch_threads_per_cycle: usize,
+    /// Instructions fetched per selected thread per cycle (paper: 8).
+    pub fetch_width: usize,
+    /// Per-thread dispatch width (paper: 8).
+    pub dispatch_width: usize,
+    /// Per-thread graduation width.
+    pub retire_width: usize,
+    /// Number of AP functional units shared by all threads (paper: 4).
+    pub ap_units: usize,
+    /// Number of EP functional units shared by all threads (paper: 4).
+    pub ep_units: usize,
+    /// AP functional unit latency in cycles (paper: 1).
+    pub ap_latency: u64,
+    /// EP functional unit latency in cycles (paper: 4).
+    pub ep_latency: u64,
+    /// Maximum unresolved conditional branches per thread (paper: 4).
+    pub max_unresolved_branches: usize,
+    /// Branch history table entries per thread (paper: 2K × 2 bits).
+    pub bht_entries: usize,
+    /// Per-thread EP Instruction Queue capacity (paper: 48).
+    pub iq_capacity: usize,
+    /// Per-thread Store Address Queue capacity (paper: 32).
+    pub saq_capacity: usize,
+    /// Per-thread AP in-order issue window capacity.
+    pub ap_window_capacity: usize,
+    /// Per-thread reorder buffer capacity.
+    pub rob_capacity: usize,
+    /// Per-thread AP (integer) physical registers (paper: 64).
+    pub ap_phys_regs: usize,
+    /// Per-thread EP (floating-point) physical registers (paper: 96).
+    pub ep_phys_regs: usize,
+    /// Per-thread fetch buffer capacity (fetched, waiting for dispatch).
+    pub fetch_buffer_capacity: usize,
+    /// EP instruction queue capacity used when `decoupled` is `false`.
+    pub non_decoupled_iq_capacity: usize,
+    /// Scale queues, windows, ROB and physical register files proportionally
+    /// to the L2 latency (relative to the 16-cycle baseline), as the paper
+    /// does for its Section 2 latency sweeps.
+    pub scale_queues_with_latency: bool,
+    /// Memory system configuration (L1D geometry, L2 latency, bus).
+    pub mem: MemConfig,
+}
+
+impl SimConfig {
+    /// The paper's Section 3 multithreaded decoupled machine (Figure 2):
+    /// 8-wide issue to 4 AP + 4 EP units, 2-thread/8-wide fetch with
+    /// I-COUNT, per-thread 48-entry IQ, 32-entry SAQ, 64 AP + 96 EP physical
+    /// registers, 2K-entry BHT, 64 KB L1D, 16-cycle L2.
+    ///
+    /// The lockup-free miss tracking (16 MSHRs) is replicated per hardware
+    /// context, like the other per-context resources the paper replicates:
+    /// with a single shared 16-entry file, a 16-thread machine could never
+    /// generate the outstanding-miss traffic (and hence the ~90–98% bus
+    /// utilisation) that the paper reports in Figure 5.
+    #[must_use]
+    pub fn paper_multithreaded(num_threads: usize) -> Self {
+        let mut mem = MemConfig::paper_default();
+        mem.l1d.mshrs = 16 * num_threads.max(1);
+        SimConfig {
+            num_threads,
+            decoupled: true,
+            fetch_threads_per_cycle: 2,
+            fetch_width: 8,
+            dispatch_width: 8,
+            retire_width: 8,
+            ap_units: 4,
+            ep_units: 4,
+            ap_latency: 1,
+            ep_latency: 4,
+            max_unresolved_branches: 4,
+            bht_entries: 2048,
+            iq_capacity: 48,
+            saq_capacity: 32,
+            ap_window_capacity: 16,
+            rob_capacity: 128,
+            ap_phys_regs: 64,
+            ep_phys_regs: 96,
+            fetch_buffer_capacity: 32,
+            non_decoupled_iq_capacity: 8,
+            scale_queues_with_latency: false,
+            mem,
+        }
+    }
+
+    /// The paper's Section 2 machine: a single-threaded, 4-way issue
+    /// decoupled processor with 4 general-purpose functional units
+    /// (2 AP + 2 EP here) and a 2-port L1 data cache. Queue scaling with L2
+    /// latency is enabled, as in the paper's Section 2 experiments.
+    #[must_use]
+    pub fn paper_single_thread_4wide() -> Self {
+        let mut cfg = SimConfig::paper_multithreaded(1);
+        cfg.fetch_threads_per_cycle = 1;
+        cfg.dispatch_width = 4;
+        cfg.retire_width = 4;
+        cfg.ap_units = 2;
+        cfg.ep_units = 2;
+        cfg.scale_queues_with_latency = true;
+        cfg.mem.l1d.ports = 2;
+        cfg
+    }
+
+    /// Sets the L2 hit latency (the paper's main sweep variable).
+    #[must_use]
+    pub fn with_l2_latency(mut self, latency: u64) -> Self {
+        self.mem.l2_latency = latency;
+        self
+    }
+
+    /// Enables or disables decoupling.
+    #[must_use]
+    pub fn with_decoupled(mut self, decoupled: bool) -> Self {
+        self.decoupled = decoupled;
+        self
+    }
+
+    /// Sets the number of hardware threads, keeping the per-context MSHR
+    /// replication in step (16 outstanding misses per thread).
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        if self.mem.l1d.mshrs == 16 * self.num_threads.max(1) {
+            self.mem.l1d.mshrs = 16 * n.max(1);
+        }
+        self.num_threads = n;
+        self
+    }
+
+    /// Enables or disables queue scaling with L2 latency.
+    #[must_use]
+    pub fn with_queue_scaling(mut self, scale: bool) -> Self {
+        self.scale_queues_with_latency = scale;
+        self
+    }
+
+    /// The queue/register scaling factor implied by the configuration.
+    #[must_use]
+    pub fn scale_factor(&self) -> f64 {
+        if self.scale_queues_with_latency {
+            (self.mem.l2_latency as f64 / 16.0).max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Effective per-thread EP instruction queue capacity after applying the
+    /// decoupling mode and latency scaling.
+    #[must_use]
+    pub fn effective_iq_capacity(&self) -> usize {
+        if self.decoupled {
+            scale(self.iq_capacity, self.scale_factor())
+        } else {
+            self.non_decoupled_iq_capacity
+        }
+    }
+
+    /// Effective AP window capacity after latency scaling.
+    #[must_use]
+    pub fn effective_ap_window_capacity(&self) -> usize {
+        if self.decoupled {
+            scale(self.ap_window_capacity, self.scale_factor())
+        } else {
+            self.ap_window_capacity.min(self.non_decoupled_iq_capacity)
+        }
+    }
+
+    /// Effective SAQ capacity after latency scaling.
+    #[must_use]
+    pub fn effective_saq_capacity(&self) -> usize {
+        scale(self.saq_capacity, self.scale_factor())
+    }
+
+    /// Effective ROB capacity after latency scaling.
+    #[must_use]
+    pub fn effective_rob_capacity(&self) -> usize {
+        scale(self.rob_capacity, self.scale_factor())
+    }
+
+    /// Effective AP physical register count after latency scaling
+    /// (only the registers beyond the architectural 32 are scaled).
+    #[must_use]
+    pub fn effective_ap_phys_regs(&self) -> usize {
+        32 + scale(self.ap_phys_regs.saturating_sub(32), self.scale_factor())
+    }
+
+    /// Effective EP physical register count after latency scaling.
+    #[must_use]
+    pub fn effective_ep_phys_regs(&self) -> usize {
+        32 + scale(self.ep_phys_regs.saturating_sub(32), self.scale_factor())
+    }
+
+    /// Effective memory configuration: when queue scaling is enabled, the
+    /// lockup-free miss tracking (MSHRs) scales with the L2 latency along
+    /// with the other structures that bound the AP's run-ahead distance.
+    #[must_use]
+    pub fn effective_mem(&self) -> MemConfig {
+        let mut mem = self.mem;
+        mem.l1d.mshrs = scale(mem.l1d.mshrs, self.scale_factor());
+        mem
+    }
+
+    /// Total issue width (AP units + EP units).
+    #[must_use]
+    pub fn issue_width(&self) -> usize {
+        self.ap_units + self.ep_units
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found (zero widths, too
+    /// few physical registers, invalid memory configuration, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_threads == 0 {
+            return Err("num_threads must be non-zero".to_string());
+        }
+        if self.fetch_threads_per_cycle == 0 || self.fetch_width == 0 {
+            return Err("fetch parameters must be non-zero".to_string());
+        }
+        if self.dispatch_width == 0 || self.retire_width == 0 {
+            return Err("dispatch/retire width must be non-zero".to_string());
+        }
+        if self.ap_units == 0 || self.ep_units == 0 {
+            return Err("both units need at least one functional unit".to_string());
+        }
+        if self.ap_latency == 0 || self.ep_latency == 0 {
+            return Err("functional unit latencies must be non-zero".to_string());
+        }
+        if self.ap_phys_regs < 33 || self.ep_phys_regs < 33 {
+            return Err("need more than 32 physical registers per file".to_string());
+        }
+        if self.iq_capacity == 0
+            || self.saq_capacity == 0
+            || self.ap_window_capacity == 0
+            || self.rob_capacity == 0
+            || self.fetch_buffer_capacity == 0
+            || self.non_decoupled_iq_capacity == 0
+        {
+            return Err("queue capacities must be non-zero".to_string());
+        }
+        if self.bht_entries == 0 {
+            return Err("bht_entries must be non-zero".to_string());
+        }
+        self.mem.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_multithreaded(1)
+    }
+}
+
+fn scale(value: usize, factor: f64) -> usize {
+    ((value as f64 * factor).round() as usize).max(value.min(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_multithreaded_matches_figure_2() {
+        let c = SimConfig::paper_multithreaded(4);
+        assert_eq!(c.num_threads, 4);
+        assert_eq!(c.ap_units, 4);
+        assert_eq!(c.ep_units, 4);
+        assert_eq!(c.ap_latency, 1);
+        assert_eq!(c.ep_latency, 4);
+        assert_eq!(c.iq_capacity, 48);
+        assert_eq!(c.saq_capacity, 32);
+        assert_eq!(c.ap_phys_regs, 64);
+        assert_eq!(c.ep_phys_regs, 96);
+        assert_eq!(c.bht_entries, 2048);
+        assert_eq!(c.max_unresolved_branches, 4);
+        assert_eq!(c.mem.l2_latency, 16);
+        assert_eq!(c.mem.l1d.ports, 4);
+        assert_eq!(c.issue_width(), 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_single_thread_is_4_wide() {
+        let c = SimConfig::paper_single_thread_4wide();
+        assert_eq!(c.num_threads, 1);
+        assert_eq!(c.dispatch_width, 4);
+        assert_eq!(c.ap_units + c.ep_units, 4);
+        assert_eq!(c.mem.l1d.ports, 2);
+        assert!(c.scale_queues_with_latency);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let c = SimConfig::paper_multithreaded(2)
+            .with_l2_latency(256)
+            .with_decoupled(false)
+            .with_threads(6)
+            .with_queue_scaling(true);
+        assert_eq!(c.mem.l2_latency, 256);
+        assert!(!c.decoupled);
+        assert_eq!(c.num_threads, 6);
+        assert!(c.scale_queues_with_latency);
+    }
+
+    #[test]
+    fn non_decoupled_restricts_iq() {
+        let dec = SimConfig::paper_multithreaded(1);
+        let non = dec.clone().with_decoupled(false);
+        assert_eq!(dec.effective_iq_capacity(), 48);
+        assert_eq!(non.effective_iq_capacity(), non.non_decoupled_iq_capacity);
+        assert!(non.effective_ap_window_capacity() <= non.non_decoupled_iq_capacity);
+    }
+
+    #[test]
+    fn queue_scaling_tracks_l2_latency() {
+        let base = SimConfig::paper_multithreaded(1).with_queue_scaling(true);
+        let fast = base.clone().with_l2_latency(1);
+        let slow = base.clone().with_l2_latency(256);
+        assert_eq!(fast.scale_factor(), 1.0);
+        assert_eq!(slow.scale_factor(), 16.0);
+        assert_eq!(fast.effective_iq_capacity(), 48);
+        assert_eq!(slow.effective_iq_capacity(), 48 * 16);
+        assert_eq!(slow.effective_saq_capacity(), 32 * 16);
+        assert!(slow.effective_ap_phys_regs() > fast.effective_ap_phys_regs());
+        assert_eq!(fast.effective_ap_phys_regs(), 64);
+        assert_eq!(fast.effective_mem().l1d.mshrs, 16);
+        assert_eq!(slow.effective_mem().l1d.mshrs, 16 * 16);
+        // Without scaling enabled the latency has no effect on sizes.
+        let unscaled = SimConfig::paper_multithreaded(1).with_l2_latency(256);
+        assert_eq!(unscaled.effective_iq_capacity(), 48);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(SimConfig::paper_multithreaded(0).validate().is_err());
+        let mut c = SimConfig::paper_multithreaded(1);
+        c.ap_units = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_multithreaded(1);
+        c.ep_latency = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_multithreaded(1);
+        c.ap_phys_regs = 32;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_multithreaded(1);
+        c.iq_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_multithreaded(1);
+        c.mem.bus_bytes_per_cycle = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_single_threaded_paper_machine() {
+        let d = SimConfig::default();
+        assert_eq!(d.num_threads, 1);
+        assert!(d.decoupled);
+    }
+}

@@ -1,0 +1,897 @@
+//! The cycle-by-cycle multithreaded decoupled processor model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsmt_isa::{steer, OpClass, RegClass, Unit};
+use dsmt_mem::{AccessKind, AccessResponse, MemorySystem};
+use dsmt_trace::{ThreadWorkload, TraceSource};
+use dsmt_uarch::{icount_pick, FuPool, RoundRobin};
+
+use crate::thread::{
+    DestOperand, FetchedInst, InflightInst, RobPayload, SaqEntry, SrcOperand, ThreadContext,
+};
+use crate::{PerceivedLatency, SimConfig, SimResults, SlotUse, UnitSlots};
+
+/// A deferred "instruction finishes executing" event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CompletionEvent {
+    cycle: u64,
+    thread: usize,
+    rob: dsmt_uarch::RobToken,
+    /// `Some(seq)` when the completing instruction is a conditional branch
+    /// whose resolution may unblock fetch.
+    branch_seq: Option<u64>,
+}
+
+/// The outcome of probing the head of an in-order window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadProbe {
+    Ready,
+    Blocked {
+        kind: SlotUse,
+        /// When the blocking operand was produced by a load that missed,
+        /// the register class of that operand (FP loads feed FP registers,
+        /// integer loads feed integer registers) — used for the
+        /// perceived-latency metric.
+        miss_class: Option<RegClass>,
+    },
+}
+
+/// The multithreaded access/execute-decoupled processor.
+///
+/// Shared across all hardware contexts: the issue logic (round-robin over
+/// threads), the AP and EP functional units, and the memory hierarchy.
+/// Everything else (fetch, dispatch, rename tables, register files, queues,
+/// reorder buffer, branch predictor) is per-thread state held in the thread
+/// contexts.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_core::{Processor, SimConfig};
+///
+/// let config = SimConfig::paper_multithreaded(2);
+/// let mut cpu = Processor::with_spec_workload(config, 42);
+/// let results = cpu.run(20_000);
+/// assert!(results.ipc() > 0.5);
+/// ```
+pub struct Processor {
+    config: SimConfig,
+    threads: Vec<ThreadContext>,
+    ap_fus: FuPool,
+    ep_fus: FuPool,
+    mem: MemorySystem,
+    arbiter: RoundRobin,
+    cycle: u64,
+    completions: BinaryHeap<Reverse<CompletionEvent>>,
+    ap_slots: UnitSlots,
+    ep_slots: UnitSlots,
+    perceived: PerceivedLatency,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    mispredictions: u64,
+}
+
+impl std::fmt::Debug for Processor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("cycle", &self.cycle)
+            .field("threads", &self.threads.len())
+            .field("retired", &self.total_retired())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Processor {
+    /// Creates a processor running `traces` (one per hardware thread) under
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the number of traces does
+    /// not match `config.num_threads`.
+    #[must_use]
+    pub fn new(config: SimConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid simulator config: {e}"));
+        assert_eq!(
+            traces.len(),
+            config.num_threads,
+            "need exactly one trace per hardware thread"
+        );
+        let threads = traces
+            .into_iter()
+            .enumerate()
+            .map(|(id, trace)| ThreadContext::new(id, &config, trace))
+            .collect();
+        Processor {
+            ap_fus: FuPool::new(config.ap_units, config.ap_latency, true),
+            ep_fus: FuPool::new(config.ep_units, config.ep_latency, true),
+            mem: MemorySystem::new(config.effective_mem()),
+            arbiter: RoundRobin::new(config.num_threads),
+            threads,
+            cycle: 0,
+            completions: BinaryHeap::new(),
+            ap_slots: UnitSlots::default(),
+            ep_slots: UnitSlots::default(),
+            perceived: PerceivedLatency::default(),
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            mispredictions: 0,
+            config,
+        }
+    }
+
+    /// Creates a processor running the paper's multithreaded SPEC FP95
+    /// workload: each thread executes a sequence of all ten benchmark
+    /// traces, rotated per thread, with per-thread address spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_spec_workload(config: SimConfig, seed: u64) -> Self {
+        let workload = ThreadWorkload::spec_fp95(seed);
+        Self::with_workload(config, &workload)
+    }
+
+    /// Creates a processor running the given [`ThreadWorkload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_workload(config: SimConfig, workload: &ThreadWorkload) -> Self {
+        let traces: Vec<Box<dyn TraceSource>> = workload
+            .build(config.num_threads)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn TraceSource>)
+            .collect();
+        Self::new(config, traces)
+    }
+
+    /// The configuration this processor was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current simulated cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total graduated instructions across all threads.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.threads.iter().map(|t| t.retired).sum()
+    }
+
+    /// Whether every thread has exhausted its trace and drained its
+    /// pipeline.
+    #[must_use]
+    pub fn all_drained(&self) -> bool {
+        self.threads.iter().all(ThreadContext::drained)
+    }
+
+    /// Simulates one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        self.mem.begin_cycle(cycle);
+        self.process_completions(cycle);
+        self.retire();
+        let order = self.arbiter.ordering();
+        self.issue(Unit::Ap, &order, cycle);
+        self.issue(Unit::Ep, &order, cycle);
+        self.dispatch();
+        self.fetch(cycle);
+        self.cycle += 1;
+    }
+
+    /// Runs until `max_instructions` have graduated (or every trace has
+    /// drained) and returns the accumulated results.
+    pub fn run(&mut self, max_instructions: u64) -> SimResults {
+        // Safety valve: even a pathologically stalled configuration retires
+        // at least one instruction every few hundred cycles; the cap only
+        // guards against modelling bugs.
+        let cycle_cap = self.cycle + max_instructions.saturating_mul(64) + 100_000;
+        while self.total_retired() < max_instructions
+            && self.cycle < cycle_cap
+            && !self.all_drained()
+        {
+            self.step();
+        }
+        self.results()
+    }
+
+    /// Runs for exactly `cycles` additional cycles.
+    pub fn run_cycles(&mut self, cycles: u64) -> SimResults {
+        for _ in 0..cycles {
+            if self.all_drained() {
+                break;
+            }
+            self.step();
+        }
+        self.results()
+    }
+
+    /// A snapshot of the statistics accumulated so far.
+    #[must_use]
+    pub fn results(&self) -> SimResults {
+        let mem_stats = self.mem.stats();
+        let (mut predictions, mut mispredictions) = (0u64, 0u64);
+        for t in &self.threads {
+            let s = t.predictor.stats();
+            predictions += s.predictions;
+            mispredictions += s.mispredictions;
+        }
+        let branch_accuracy = if predictions == 0 {
+            1.0
+        } else {
+            1.0 - mispredictions as f64 / predictions as f64
+        };
+        SimResults {
+            cycles: self.cycle,
+            instructions: self.total_retired(),
+            per_thread_instructions: self.threads.iter().map(|t| t.retired).collect(),
+            ap_slots: self.ap_slots,
+            ep_slots: self.ep_slots,
+            perceived: self.perceived,
+            mem: mem_stats,
+            bus_utilization: self.mem.bus_utilization(self.cycle.max(1)),
+            branch_accuracy,
+            loads: self.loads,
+            stores: self.stores,
+            branches: self.branches,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline stages
+    // ------------------------------------------------------------------
+
+    fn process_completions(&mut self, cycle: u64) {
+        while let Some(Reverse(ev)) = self.completions.peek().copied() {
+            if ev.cycle > cycle {
+                break;
+            }
+            self.completions.pop();
+            let thread = &mut self.threads[ev.thread];
+            if thread.rob.contains(ev.rob) {
+                thread.rob.mark_completed(ev.rob);
+            }
+            if let Some(seq) = ev.branch_seq {
+                thread.unresolved_branches = thread.unresolved_branches.saturating_sub(1);
+                if thread.blocked_on_mispredict == Some(seq) {
+                    thread.blocked_on_mispredict = None;
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self) {
+        let width = self.config.retire_width;
+        for thread in &mut self.threads {
+            let retired = thread.rob.retire(width);
+            for payload in &retired {
+                if let Some((class, phys)) = payload.prev_dest {
+                    thread.regs_mut(class).release(phys);
+                }
+                if payload.is_store {
+                    thread.pop_oldest_store();
+                }
+            }
+            thread.retired += retired.len() as u64;
+        }
+    }
+
+    fn issue(&mut self, unit: Unit, order: &[usize], cycle: u64) {
+        let slots_total = match unit {
+            Unit::Ap => self.config.ap_units,
+            Unit::Ep => self.config.ep_units,
+        };
+        let mut used = 0usize;
+        let mut blocked: Vec<SlotUse> = Vec::new();
+
+        'threads: for &t in order {
+            loop {
+                if used >= slots_total {
+                    break 'threads;
+                }
+                let probe = {
+                    let thread = &self.threads[t];
+                    match thread.window(unit).front() {
+                        None => break,
+                        Some(head) => probe_head(thread, head, cycle),
+                    }
+                };
+                match probe {
+                    HeadProbe::Ready => match self.issue_head(t, unit, cycle) {
+                        Ok(()) => used += 1,
+                        Err(kind) => {
+                            blocked.push(kind);
+                            break;
+                        }
+                    },
+                    HeadProbe::Blocked { kind, miss_class } => {
+                        // Perceived-latency accounting: the head cannot issue
+                        // although an issue slot is free, because it waits on
+                        // data from a load that missed.
+                        match miss_class {
+                            Some(RegClass::Fp) => self.perceived.fp_stall_cycles += 1,
+                            Some(RegClass::Int) => self.perceived.int_stall_cycles += 1,
+                            None => {}
+                        }
+                        blocked.push(kind);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let slots = match unit {
+            Unit::Ap => &mut self.ap_slots,
+            Unit::Ep => &mut self.ep_slots,
+        };
+        slots.record_n(SlotUse::Useful, used as u64);
+        let wasted = slots_total - used;
+        if blocked.is_empty() {
+            // Nothing was even available to consider: fetch starvation after
+            // a misprediction, empty windows, or exhausted threads.
+            slots.record_n(SlotUse::WrongPathOrIdle, wasted as u64);
+        } else {
+            // Attribute the wasted slots to the stall causes of the oldest
+            // non-issuable instructions, round-robin when several threads
+            // were blocked for different reasons.
+            for i in 0..wasted {
+                slots.record(blocked[i % blocked.len()]);
+            }
+        }
+    }
+
+    /// Issues the head instruction of thread `t`'s window for `unit`.
+    /// Returns `Err` with a stall classification when a structural hazard
+    /// (cache port, MSHR, functional unit) prevents issue after all.
+    fn issue_head(&mut self, t: usize, unit: Unit, cycle: u64) -> Result<(), SlotUse> {
+        let head: InflightInst = self.threads[t]
+            .window(unit)
+            .front()
+            .cloned()
+            .expect("issue_head called with an empty window");
+
+        // Memory access first: it may be rejected for structural reasons, in
+        // which case the instruction stays at the head and retries.
+        let mut mem_outcome: Option<(bool, u64)> = None;
+        if head.op.is_mem() {
+            let mem_ref = head.mem.expect("memory instruction without address");
+            let kind = if head.op.is_load() {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            match self.mem.try_access(cycle, mem_ref.addr, kind) {
+                AccessResponse::Done { hit, ready_cycle } => {
+                    mem_outcome = Some((hit, ready_cycle));
+                }
+                AccessResponse::NoPort | AccessResponse::NoMshr => return Err(SlotUse::Other),
+            }
+        }
+
+        let fu_done = {
+            let fus = match unit {
+                Unit::Ap => &mut self.ap_fus,
+                Unit::Ep => &mut self.ep_fus,
+            };
+            match fus.try_issue(cycle) {
+                Some(done) => done,
+                None => return Err(SlotUse::Other),
+            }
+        };
+        let completion = match mem_outcome {
+            Some((_, mem_ready)) => mem_ready.max(fu_done),
+            None => fu_done,
+        };
+
+        {
+            let thread = &mut self.threads[t];
+            if let Some(DestOperand { class, phys }) = head.dest {
+                thread.regs_mut(class).set_ready_cycle(phys, completion);
+                if head.op.is_load() {
+                    let missed = !mem_outcome.expect("load issued without memory outcome").0;
+                    thread.flags_mut(class).set_load(phys, missed);
+                }
+            }
+            if head.op.is_store() {
+                thread.mark_store_executed(head.seq);
+            }
+        }
+
+        if head.op.is_load() {
+            self.loads += 1;
+            if !mem_outcome.expect("load issued without memory outcome").0 {
+                match head.op {
+                    OpClass::LoadFp => self.perceived.fp_load_misses += 1,
+                    OpClass::LoadInt => self.perceived.int_load_misses += 1,
+                    _ => unreachable!("is_load covers exactly the two load classes"),
+                }
+            }
+        } else if head.op.is_store() {
+            self.stores += 1;
+        }
+
+        let branch_seq = if head.is_cond_branch {
+            Some(head.seq)
+        } else {
+            None
+        };
+        self.completions.push(Reverse(CompletionEvent {
+            cycle: completion,
+            thread: t,
+            rob: head.rob,
+            branch_seq,
+        }));
+        self.threads[t].window_mut(unit).pop();
+        Ok(())
+    }
+
+    fn dispatch(&mut self) {
+        let width = self.config.dispatch_width;
+        for thread in &mut self.threads {
+            let mut dispatched = 0usize;
+            while dispatched < width {
+                let Some(fetched) = thread.fetch_buffer.front().copied() else {
+                    break;
+                };
+                let inst = fetched.inst;
+                let unit = steer(inst.op);
+
+                // Structural checks: ROB, target window, SAQ, rename registers.
+                if thread.rob.is_full() || thread.window(unit).is_full() {
+                    break;
+                }
+                if inst.op.is_store() && thread.saq.is_full() {
+                    break;
+                }
+                if let Some(d) = inst.real_dest() {
+                    if !thread.regs(d.class()).can_rename() {
+                        break;
+                    }
+                }
+
+                // Rename sources (current mappings).
+                let mut srcs: [Option<SrcOperand>; 2] = [None, None];
+                for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
+                    if let Some(r) = src {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let phys = thread.regs(r.class()).lookup(r.index() as usize);
+                        // Store data (src1 of a store) is consumed at
+                        // graduation, not at issue: it never gates the AP.
+                        let gates_issue = !(inst.op.is_store() && i == 0);
+                        srcs[i] = Some(SrcOperand {
+                            class: r.class(),
+                            phys,
+                            gates_issue,
+                        });
+                    }
+                }
+
+                // Rename the destination.
+                let mut dest = None;
+                let mut prev_dest = None;
+                if let Some(d) = inst.real_dest() {
+                    let outcome = thread
+                        .regs_mut(d.class())
+                        .rename_dest(d.index() as usize)
+                        .expect("rename availability was checked");
+                    thread.flags_mut(d.class()).clear(outcome.new);
+                    dest = Some(DestOperand {
+                        class: d.class(),
+                        phys: outcome.new,
+                    });
+                    prev_dest = Some((d.class(), outcome.previous));
+                }
+
+                let rob = thread
+                    .rob
+                    .push(RobPayload {
+                        prev_dest,
+                        is_store: inst.op.is_store(),
+                    })
+                    .expect("ROB fullness was checked");
+
+                if inst.op.is_store() {
+                    thread
+                        .saq
+                        .push(SaqEntry {
+                            seq: fetched.seq,
+                            mem: inst.mem.expect("store without address"),
+                            executed: false,
+                        })
+                        .ok()
+                        .expect("SAQ fullness was checked");
+                }
+
+                let inflight = InflightInst {
+                    seq: fetched.seq,
+                    op: inst.op,
+                    srcs,
+                    dest,
+                    rob,
+                    mem: inst.mem,
+                    is_cond_branch: inst.op.is_cond_branch(),
+                };
+                thread
+                    .window_mut(unit)
+                    .push(inflight)
+                    .ok()
+                    .expect("window fullness was checked");
+                thread.fetch_buffer.pop_front();
+                dispatched += 1;
+            }
+        }
+    }
+
+    fn fetch(&mut self, cycle: u64) {
+        let max_unresolved = self.config.max_unresolved_branches;
+        let pending: Vec<usize> = self.threads.iter().map(|t| t.pending_dispatch()).collect();
+        let eligible: Vec<bool> = self
+            .threads
+            .iter()
+            .map(|t| t.fetch_eligible(max_unresolved))
+            .collect();
+        let picks = icount_pick(
+            &pending,
+            &eligible,
+            self.config.fetch_threads_per_cycle,
+            cycle as usize,
+        );
+        for t in picks {
+            let thread = &mut self.threads[t];
+            for _ in 0..self.config.fetch_width {
+                if thread.fetch_buffer.len() >= thread.fetch_buffer_capacity {
+                    break;
+                }
+                if thread.unresolved_branches >= max_unresolved {
+                    break;
+                }
+                let Some(inst) = thread.trace.next_instruction() else {
+                    thread.trace_done = true;
+                    break;
+                };
+                let seq = thread.next_seq;
+                thread.next_seq += 1;
+                let mut stop_group = false;
+                if inst.op.is_cond_branch() {
+                    let actual = inst.branch.map(|b| b.taken).unwrap_or(false);
+                    let correct = thread.predictor.predict_and_train(inst.pc, actual);
+                    thread.unresolved_branches += 1;
+                    self.branches += 1;
+                    if !correct {
+                        self.mispredictions += 1;
+                        // Fetch continues down the wrong path (useless work)
+                        // until the branch resolves: model it by blocking
+                        // fetch for this thread until resolution.
+                        thread.blocked_on_mispredict = Some(seq);
+                        stop_group = true;
+                    }
+                    if actual {
+                        // Fetch groups end at the first taken branch.
+                        stop_group = true;
+                    }
+                } else if inst.op.is_control() {
+                    stop_group = true;
+                }
+                thread.fetch_buffer.push_back(FetchedInst { seq, inst });
+                if stop_group {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Decides whether the head of an in-order window can issue this cycle, and
+/// if not, why.
+fn probe_head(thread: &ThreadContext, head: &InflightInst, cycle: u64) -> HeadProbe {
+    for src in head.srcs.iter().flatten() {
+        if !src.gates_issue {
+            continue;
+        }
+        if !thread.regs(src.class).is_ready(src.phys, cycle) {
+            let flags = thread.flags(src.class);
+            let from_load = flags.is_from_load(src.phys);
+            let missed = flags.is_load_miss(src.phys);
+            return HeadProbe::Blocked {
+                kind: if from_load {
+                    SlotUse::WaitMemory
+                } else {
+                    SlotUse::WaitFu
+                },
+                miss_class: if missed { Some(src.class) } else { None },
+            };
+        }
+    }
+    if head.op.is_load() {
+        let mem = head.mem.expect("load without address");
+        if thread.load_blocked_by_store(head.seq, &mem) {
+            return HeadProbe::Blocked {
+                kind: SlotUse::Other,
+                miss_class: None,
+            };
+        }
+    }
+    HeadProbe::Ready
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmt_isa::{ArchReg, BranchInfo, Instruction};
+    use dsmt_trace::{BenchmarkProfile, SyntheticTrace, VecTrace};
+
+    fn single_thread_config() -> SimConfig {
+        SimConfig::paper_multithreaded(1)
+    }
+
+    fn boxed(trace: VecTrace) -> Vec<Box<dyn TraceSource>> {
+        vec![Box::new(trace) as Box<dyn TraceSource>]
+    }
+
+    /// A tiny independent-ALU kernel: every instruction writes a different
+    /// register with no dependences, so nothing should ever stall.
+    fn independent_alu_kernel(n: usize) -> VecTrace {
+        let insts = (0..n)
+            .map(|i| {
+                Instruction::new(i as u64 * 4, OpClass::IntAlu)
+                    .with_dest(ArchReg::int((i % 8 + 1) as u8))
+                    .with_src1(ArchReg::int(16))
+            })
+            .collect();
+        VecTrace::new("alu", insts)
+    }
+
+    #[test]
+    fn empty_trace_drains_immediately() {
+        let mut cpu = Processor::new(single_thread_config(), boxed(VecTrace::new("e", vec![])));
+        let r = cpu.run(1000);
+        assert_eq!(r.instructions, 0);
+        assert!(cpu.all_drained());
+    }
+
+    #[test]
+    fn independent_alu_retires_everything() {
+        let mut cpu = Processor::new(single_thread_config(), boxed(independent_alu_kernel(1000)));
+        let r = cpu.run(10_000);
+        assert_eq!(r.instructions, 1000);
+        // 4 AP units, no dependences: IPC should approach 4.
+        assert!(r.ipc() > 2.5, "IPC was {}", r.ipc());
+        // Everything is an AP instruction; the EP should be completely idle.
+        assert_eq!(r.ep_slots.useful, 0);
+        assert!(r.ap_slots.useful >= 1000);
+    }
+
+    #[test]
+    fn dependent_fp_chain_is_limited_by_ep_latency() {
+        // A single serial FP chain: IPC cannot exceed 1/ep_latency on the EP
+        // side, and the whole program is EP-bound.
+        let n = 400;
+        let insts: Vec<Instruction> = (0..n)
+            .map(|i| {
+                Instruction::new(i as u64 * 4, OpClass::FpAdd)
+                    .with_dest(ArchReg::fp(1))
+                    .with_src1(ArchReg::fp(1))
+                    .with_src2(ArchReg::fp(2))
+            })
+            .collect();
+        let mut cpu = Processor::new(single_thread_config(), boxed(VecTrace::new("chain", insts)));
+        let r = cpu.run(10_000);
+        assert_eq!(r.instructions, n as u64);
+        let ipc = r.ipc();
+        assert!(ipc < 0.35, "serial chain IPC should be ~0.25, was {ipc}");
+        assert!(
+            r.ep_slots.wait_fu > r.ep_slots.useful,
+            "most EP slots should be lost waiting on FU results"
+        );
+    }
+
+    #[test]
+    fn load_miss_latency_is_exposed_without_decoupling_hidden_with_it() {
+        // One load followed (far later in the EP stream) by its consumer:
+        // with a deep IQ the consumer is reached long after the data
+        // arrives; with the IQ disabled the consumer waits.
+        let make_trace = || {
+            let mut insts = Vec::new();
+            for k in 0..200u64 {
+                // A streaming load: one miss per 32-byte line (every 4th load),
+                // so outstanding misses stay well below the MSHR limit.
+                insts.push(
+                    Instruction::new(0x1000 + k * 4, OpClass::LoadFp)
+                        .with_dest(ArchReg::fp((1 + (k % 8)) as u8))
+                        .with_src1(ArchReg::int(1))
+                        .with_mem(0x10_0000 + k * 8, 8),
+                );
+                // Independent AP work to keep the AP busy (writing the zero
+                // register so the AP free list never throttles dispatch —
+                // this test isolates the effect of the instruction queue).
+                for j in 0..4u64 {
+                    insts.push(
+                        Instruction::new(0x2000 + j * 4, OpClass::IntAlu)
+                            .with_dest(ArchReg::int(31))
+                            .with_src1(ArchReg::int(16)),
+                    );
+                }
+                // EP consumer of the load plus some EP work.
+                insts.push(
+                    Instruction::new(0x3000 + k * 4, OpClass::FpAdd)
+                        .with_dest(ArchReg::fp(20))
+                        .with_src1(ArchReg::fp(20))
+                        .with_src2(ArchReg::fp((1 + (k % 8)) as u8)),
+                );
+            }
+            VecTrace::new("loads", insts)
+        };
+        let decoupled_cfg = single_thread_config().with_l2_latency(64);
+        let non_decoupled_cfg = decoupled_cfg.clone().with_decoupled(false);
+
+        let r_dec = Processor::new(decoupled_cfg, boxed(make_trace())).run(10_000);
+        let r_non = Processor::new(non_decoupled_cfg, boxed(make_trace())).run(10_000);
+
+        // 200 loads streaming over 50 distinct 32-byte lines: 50 primary misses.
+        assert!(r_dec.perceived.fp_load_misses >= 40);
+        assert!(r_non.perceived.fp_load_misses >= 40);
+        assert!(
+            r_dec.perceived.fp() < r_non.perceived.fp(),
+            "decoupling must hide more latency: dec {} vs non {}",
+            r_dec.perceived.fp(),
+            r_non.perceived.fp()
+        );
+        assert!(r_dec.ipc() > r_non.ipc());
+    }
+
+    #[test]
+    fn branch_mispredictions_cost_fetch_cycles() {
+        // Alternating taken/not-taken branches defeat the 2-bit predictor.
+        let mut insts = Vec::new();
+        for k in 0..500u64 {
+            insts.push(
+                Instruction::new(0x100, OpClass::CondBranch)
+                    .with_src1(ArchReg::int(1))
+                    .with_branch(BranchInfo::new(k % 2 == 0, 0x100)),
+            );
+            insts.push(
+                Instruction::new(0x104 + k * 4, OpClass::IntAlu)
+                    .with_dest(ArchReg::int(2))
+                    .with_src1(ArchReg::int(16)),
+            );
+        }
+        let mut cpu = Processor::new(single_thread_config(), boxed(VecTrace::new("br", insts)));
+        let r = cpu.run(10_000);
+        assert!(r.branch_accuracy < 0.8, "accuracy {}", r.branch_accuracy);
+        assert!(r.mispredictions > 100);
+        assert!(
+            r.ap_slots.wrong_path_or_idle > 0,
+            "mispredictions must show up as idle slots"
+        );
+    }
+
+    #[test]
+    fn store_load_conflict_blocks_until_graduation() {
+        // A store followed immediately by a load of the same address: the
+        // load must wait for the store to leave the SAQ.
+        let insts = vec![
+            Instruction::new(0x0, OpClass::StoreFp)
+                .with_src1(ArchReg::fp(1))
+                .with_src2(ArchReg::int(1))
+                .with_mem(0x8000, 8),
+            Instruction::new(0x4, OpClass::LoadFp)
+                .with_dest(ArchReg::fp(2))
+                .with_src1(ArchReg::int(1))
+                .with_mem(0x8000, 8),
+        ];
+        let mut cpu = Processor::new(single_thread_config(), boxed(VecTrace::new("st-ld", insts)));
+        let r = cpu.run(100);
+        assert_eq!(r.instructions, 2);
+        assert!(r.ap_slots.other > 0, "the blocked load must show as 'other'");
+    }
+
+    #[test]
+    fn multithreading_increases_throughput_on_ep_bound_code() {
+        // EP-bound synthetic benchmark: one thread cannot fill 4 EP units,
+        // four threads nearly can.
+        let profile = BenchmarkProfile::baseline("epbound");
+        let run = |threads: usize| {
+            let cfg = SimConfig::paper_multithreaded(threads);
+            let traces: Vec<Box<dyn TraceSource>> = (0..threads)
+                .map(|t| {
+                    Box::new(SyntheticTrace::with_offset(
+                        &profile,
+                        7,
+                        t as u64 * (0x0800_0000 + 0x1_a000),
+                    )) as Box<dyn TraceSource>
+                })
+                .collect();
+            Processor::new(cfg, traces).run(40_000).ipc()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one > 1.0, "single-thread IPC {one}");
+        assert!(four > 1.7 * one, "4-thread IPC {four} vs 1-thread {one}");
+        assert!(four < 8.0);
+    }
+
+    #[test]
+    fn slot_accounting_is_conserved() {
+        let cfg = SimConfig::paper_multithreaded(2);
+        let mut cpu = Processor::with_spec_workload(cfg.clone(), 3);
+        let r = cpu.run(30_000);
+        assert_eq!(r.ap_slots.total(), r.cycles * cfg.ap_units as u64);
+        assert_eq!(r.ep_slots.total(), r.cycles * cfg.ep_units as u64);
+        assert!(r.instructions >= 30_000);
+        // Useful slots must equal issued instructions (every retired
+        // instruction issued exactly once, plus those still in flight).
+        assert!(r.ap_slots.useful + r.ep_slots.useful >= r.instructions);
+    }
+
+    #[test]
+    fn results_snapshot_is_stable_between_runs() {
+        let cfg = SimConfig::paper_multithreaded(2);
+        let a = Processor::with_spec_workload(cfg.clone(), 11).run(20_000);
+        let b = Processor::with_spec_workload(cfg, 11).run(20_000);
+        assert_eq!(a, b, "simulation must be deterministic");
+    }
+
+    /// Not a correctness test: prints a breakdown used while calibrating the
+    /// model. Run with `cargo test -p dsmt-core diag -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "diagnostic output only"]
+    fn diag_thread_scaling_breakdown() {
+        for threads in [1usize, 2, 3, 4, 6] {
+            let cfg = SimConfig::paper_multithreaded(threads);
+            let r = Processor::with_spec_workload(cfg, 42).run(120_000);
+            println!(
+                "threads={threads} ipc={:.2} ap(useful/mem/fu/idle/other)={:.2}/{:.2}/{:.2}/{:.2}/{:.2} \
+                 ep={:.2}/{:.2}/{:.2}/{:.2}/{:.2} ld_miss={:.3} st_miss={:.3} bus={:.2} \
+                 perc_fp={:.1} perc_int={:.1} acc={:.2}",
+                r.ipc(),
+                r.ap_slots.fraction(SlotUse::Useful),
+                r.ap_slots.fraction(SlotUse::WaitMemory),
+                r.ap_slots.fraction(SlotUse::WaitFu),
+                r.ap_slots.fraction(SlotUse::WrongPathOrIdle),
+                r.ap_slots.fraction(SlotUse::Other),
+                r.ep_slots.fraction(SlotUse::Useful),
+                r.ep_slots.fraction(SlotUse::WaitMemory),
+                r.ep_slots.fraction(SlotUse::WaitFu),
+                r.ep_slots.fraction(SlotUse::WrongPathOrIdle),
+                r.ep_slots.fraction(SlotUse::Other),
+                r.load_miss_ratio(),
+                r.store_miss_ratio(),
+                r.bus_utilization,
+                r.perceived.fp(),
+                r.perceived.int(),
+                r.branch_accuracy,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per hardware thread")]
+    fn wrong_trace_count_panics() {
+        let _ = Processor::new(SimConfig::paper_multithreaded(2), boxed(VecTrace::new("x", vec![])));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator config")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::paper_multithreaded(1);
+        cfg.ap_units = 0;
+        let _ = Processor::new(cfg, boxed(VecTrace::new("x", vec![])));
+    }
+}

@@ -1,0 +1,312 @@
+//! Simulation statistics and results.
+
+use dsmt_mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// Why an issue slot went unused in a given cycle.
+///
+/// These are the categories of the paper's Figure 3 ("issue slots
+/// breakdown"): useful work, waiting for an operand from memory, waiting for
+/// an operand from a functional unit, wrong-path/idle, and other
+/// (structural) causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotUse {
+    /// The slot issued an instruction.
+    Useful,
+    /// The oldest candidate instruction was waiting for a value produced by
+    /// an in-flight load (the load data has not returned from the memory
+    /// hierarchy yet).
+    WaitMemory,
+    /// The oldest candidate instruction was waiting for a value still being
+    /// computed by a functional unit.
+    WaitFu,
+    /// No instruction was available to issue (fetch starvation after a
+    /// branch misprediction, empty windows, thread exhausted).
+    WrongPathOrIdle,
+    /// Structural causes: functional units busy, no cache port, MSHRs full,
+    /// store-address-queue conflicts.
+    Other,
+}
+
+impl SlotUse {
+    /// All categories in display order.
+    pub const ALL: [SlotUse; 5] = [
+        SlotUse::Useful,
+        SlotUse::WaitMemory,
+        SlotUse::WaitFu,
+        SlotUse::WrongPathOrIdle,
+        SlotUse::Other,
+    ];
+
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SlotUse::Useful => "useful",
+            SlotUse::WaitMemory => "wait-mem",
+            SlotUse::WaitFu => "wait-fu",
+            SlotUse::WrongPathOrIdle => "idle",
+            SlotUse::Other => "other",
+        }
+    }
+}
+
+/// Issue-slot usage counters for one processing unit (AP or EP).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitSlots {
+    /// Slots that issued an instruction.
+    pub useful: u64,
+    /// Slots lost waiting for load data.
+    pub wait_memory: u64,
+    /// Slots lost waiting for functional-unit results.
+    pub wait_fu: u64,
+    /// Slots lost to fetch starvation / wrong path / empty windows.
+    pub wrong_path_or_idle: u64,
+    /// Slots lost to structural hazards.
+    pub other: u64,
+}
+
+impl UnitSlots {
+    /// Total slots accounted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.useful + self.wait_memory + self.wait_fu + self.wrong_path_or_idle + self.other
+    }
+
+    /// Records one slot of the given kind.
+    pub fn record(&mut self, kind: SlotUse) {
+        match kind {
+            SlotUse::Useful => self.useful += 1,
+            SlotUse::WaitMemory => self.wait_memory += 1,
+            SlotUse::WaitFu => self.wait_fu += 1,
+            SlotUse::WrongPathOrIdle => self.wrong_path_or_idle += 1,
+            SlotUse::Other => self.other += 1,
+        }
+    }
+
+    /// Records `n` slots of the given kind.
+    pub fn record_n(&mut self, kind: SlotUse, n: u64) {
+        for _ in 0..n {
+            self.record(kind);
+        }
+    }
+
+    /// The fraction of slots in the given category, in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self, kind: SlotUse) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let count = match kind {
+            SlotUse::Useful => self.useful,
+            SlotUse::WaitMemory => self.wait_memory,
+            SlotUse::WaitFu => self.wait_fu,
+            SlotUse::WrongPathOrIdle => self.wrong_path_or_idle,
+            SlotUse::Other => self.other,
+        };
+        count as f64 / total as f64
+    }
+
+    /// Utilisation = fraction of useful slots.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.fraction(SlotUse::Useful)
+    }
+}
+
+/// Perceived load-miss latency accounting.
+///
+/// The paper's metric: "the average number of stall cycles of instructions
+/// that use data from a previous uncompleted load", counted only for loads
+/// that *missed* (load hits are excluded), and only when a free issue slot
+/// was available.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerceivedLatency {
+    /// Stall cycles charged to waiting on missed FP-load data.
+    pub fp_stall_cycles: u64,
+    /// Stall cycles charged to waiting on missed integer-load data.
+    pub int_stall_cycles: u64,
+    /// Number of FP loads that missed in the L1.
+    pub fp_load_misses: u64,
+    /// Number of integer loads that missed in the L1.
+    pub int_load_misses: u64,
+}
+
+impl PerceivedLatency {
+    /// Average perceived FP-load miss latency (cycles per missed FP load).
+    #[must_use]
+    pub fn fp(&self) -> f64 {
+        avg(self.fp_stall_cycles, self.fp_load_misses)
+    }
+
+    /// Average perceived integer-load miss latency.
+    #[must_use]
+    pub fn int(&self) -> f64 {
+        avg(self.int_stall_cycles, self.int_load_misses)
+    }
+
+    /// Average perceived latency over all load misses.
+    #[must_use]
+    pub fn combined(&self) -> f64 {
+        avg(
+            self.fp_stall_cycles + self.int_stall_cycles,
+            self.fp_load_misses + self.int_load_misses,
+        )
+    }
+}
+
+fn avg(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The complete results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResults {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Graduated (retired) instructions, summed over threads.
+    pub instructions: u64,
+    /// Graduated instructions per thread.
+    pub per_thread_instructions: Vec<u64>,
+    /// Issue-slot breakdown for the Address Processor.
+    pub ap_slots: UnitSlots,
+    /// Issue-slot breakdown for the Execute Processor.
+    pub ep_slots: UnitSlots,
+    /// Perceived load-miss latency accounting.
+    pub perceived: PerceivedLatency,
+    /// Memory system statistics (miss ratios, bus traffic).
+    pub mem: MemStats,
+    /// External L1–L2 bus utilisation over the run.
+    pub bus_utilization: f64,
+    /// Branch prediction accuracy over all threads.
+    pub branch_accuracy: f64,
+    /// Total loads executed (hits + misses).
+    pub loads: u64,
+    /// Total stores executed.
+    pub stores: u64,
+    /// Total conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredictions: u64,
+}
+
+impl SimResults {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Relative IPC loss (in percent, positive = slower) versus a baseline
+    /// result — the metric of the paper's Figures 1-d and 4-b.
+    #[must_use]
+    pub fn ipc_loss_pct_vs(&self, baseline: &SimResults) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.ipc() / base) * 100.0
+    }
+
+    /// Combined load miss ratio.
+    #[must_use]
+    pub fn load_miss_ratio(&self) -> f64 {
+        self.mem.load_miss_ratio()
+    }
+
+    /// Combined store miss ratio.
+    #[must_use]
+    pub fn store_miss_ratio(&self) -> f64 {
+        self.mem.store_miss_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_results(instructions: u64, cycles: u64) -> SimResults {
+        SimResults {
+            cycles,
+            instructions,
+            per_thread_instructions: vec![instructions],
+            ap_slots: UnitSlots::default(),
+            ep_slots: UnitSlots::default(),
+            perceived: PerceivedLatency::default(),
+            mem: MemStats::default(),
+            bus_utilization: 0.0,
+            branch_accuracy: 1.0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[test]
+    fn slot_recording_and_fractions() {
+        let mut s = UnitSlots::default();
+        s.record(SlotUse::Useful);
+        s.record(SlotUse::Useful);
+        s.record(SlotUse::WaitMemory);
+        s.record_n(SlotUse::WaitFu, 3);
+        s.record(SlotUse::WrongPathOrIdle);
+        s.record(SlotUse::Other);
+        assert_eq!(s.total(), 8);
+        assert!((s.fraction(SlotUse::Useful) - 0.25).abs() < 1e-12);
+        assert!((s.fraction(SlotUse::WaitFu) - 0.375).abs() < 1e-12);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slots_have_zero_fractions() {
+        let s = UnitSlots::default();
+        for kind in SlotUse::ALL {
+            assert_eq!(s.fraction(kind), 0.0);
+        }
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn slot_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SlotUse::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SlotUse::ALL.len());
+    }
+
+    #[test]
+    fn perceived_latency_averages() {
+        let p = PerceivedLatency {
+            fp_stall_cycles: 100,
+            int_stall_cycles: 30,
+            fp_load_misses: 50,
+            int_load_misses: 10,
+        };
+        assert!((p.fp() - 2.0).abs() < 1e-12);
+        assert!((p.int() - 3.0).abs() < 1e-12);
+        assert!((p.combined() - 130.0 / 60.0).abs() < 1e-12);
+        assert_eq!(PerceivedLatency::default().fp(), 0.0);
+        assert_eq!(PerceivedLatency::default().combined(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_loss() {
+        let base = dummy_results(1000, 200); // IPC 5
+        let slow = dummy_results(1000, 400); // IPC 2.5
+        assert!((base.ipc() - 5.0).abs() < 1e-12);
+        assert!((slow.ipc_loss_pct_vs(&base) - 50.0).abs() < 1e-12);
+        assert!((base.ipc_loss_pct_vs(&base)).abs() < 1e-12);
+        let zero = dummy_results(0, 0);
+        assert_eq!(zero.ipc(), 0.0);
+        assert_eq!(base.ipc_loss_pct_vs(&zero), 0.0);
+    }
+}

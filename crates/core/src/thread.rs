@@ -1,0 +1,284 @@
+//! Per-hardware-context state.
+//!
+//! The paper replicates, per context: the fetch and dispatch stages
+//! (including branch prediction and register map tables), the register
+//! files, the instruction queue, and the store address queue. This module
+//! holds exactly that per-thread state; everything shared (functional
+//! units, issue slots, caches, bus) lives in [`crate::Processor`].
+
+use std::collections::VecDeque;
+
+use dsmt_isa::{Instruction, MemRef, OpClass, RegClass, Unit};
+use dsmt_trace::TraceSource;
+use dsmt_uarch::{BoundedQueue, BranchPredictor, PhysReg, RegisterFile, Rob, RobToken};
+
+use crate::SimConfig;
+
+/// A renamed source operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SrcOperand {
+    pub class: RegClass,
+    pub phys: PhysReg,
+    /// Whether this operand must be ready before the instruction may issue.
+    /// Store *data* operands do not gate issue (the SAQ holds the store
+    /// until its data arrives, without blocking the AP).
+    pub gates_issue: bool,
+}
+
+/// A renamed destination operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DestOperand {
+    pub class: RegClass,
+    pub phys: PhysReg,
+}
+
+/// A dispatched, renamed, in-flight instruction waiting in an in-order
+/// issue window (the AP window or the EP instruction queue).
+#[derive(Debug, Clone)]
+pub(crate) struct InflightInst {
+    /// Per-thread program-order sequence number (assigned at fetch).
+    pub seq: u64,
+    pub op: OpClass,
+    pub srcs: [Option<SrcOperand>; 2],
+    pub dest: Option<DestOperand>,
+    pub rob: RobToken,
+    pub mem: Option<MemRef>,
+    pub is_cond_branch: bool,
+}
+
+/// Retirement bookkeeping carried through the reorder buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RobPayload {
+    /// Physical register superseded by this instruction's rename, released
+    /// at graduation.
+    pub prev_dest: Option<(RegClass, PhysReg)>,
+    pub is_store: bool,
+}
+
+/// A store tracked by the store address queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SaqEntry {
+    pub seq: u64,
+    pub mem: MemRef,
+    /// Whether the store has executed (address known to the hardware).
+    pub executed: bool,
+}
+
+/// An instruction that has been fetched but not yet dispatched.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchedInst {
+    pub seq: u64,
+    pub inst: Instruction,
+}
+
+/// Per-physical-register producer metadata used for stall classification
+/// and the perceived-latency metric.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProducerFlags {
+    from_load: Vec<bool>,
+    load_missed: Vec<bool>,
+}
+
+impl ProducerFlags {
+    fn new(n: usize) -> Self {
+        ProducerFlags {
+            from_load: vec![false; n],
+            load_missed: vec![false; n],
+        }
+    }
+
+    pub fn clear(&mut self, reg: PhysReg) {
+        self.from_load[reg.0 as usize] = false;
+        self.load_missed[reg.0 as usize] = false;
+    }
+
+    pub fn set_load(&mut self, reg: PhysReg, missed: bool) {
+        self.from_load[reg.0 as usize] = true;
+        self.load_missed[reg.0 as usize] = missed;
+    }
+
+    pub fn is_from_load(&self, reg: PhysReg) -> bool {
+        self.from_load[reg.0 as usize]
+    }
+
+    pub fn is_load_miss(&self, reg: PhysReg) -> bool {
+        self.load_missed[reg.0 as usize]
+    }
+}
+
+/// All per-context state of the multithreaded decoupled processor.
+pub(crate) struct ThreadContext {
+    pub id: usize,
+    pub trace: Box<dyn TraceSource>,
+    pub fetch_buffer: VecDeque<FetchedInst>,
+    pub fetch_buffer_capacity: usize,
+    /// Integer (AP) rename map + physical register file.
+    pub ap_regs: RegisterFile,
+    /// Floating-point (EP) rename map + physical register file.
+    pub ep_regs: RegisterFile,
+    pub ap_flags: ProducerFlags,
+    pub ep_flags: ProducerFlags,
+    /// The AP's in-order issue window.
+    pub ap_window: BoundedQueue<InflightInst>,
+    /// The EP's instruction queue — the structure that provides decoupling.
+    pub iq: BoundedQueue<InflightInst>,
+    /// The store address queue.
+    pub saq: BoundedQueue<SaqEntry>,
+    pub rob: Rob<RobPayload>,
+    pub predictor: BranchPredictor,
+    /// Next program-order sequence number to assign at fetch.
+    pub next_seq: u64,
+    /// Conditional branches fetched but not yet resolved.
+    pub unresolved_branches: usize,
+    /// When `Some(seq)`, fetch is on the wrong path of the branch with that
+    /// sequence number and stays blocked until it resolves.
+    pub blocked_on_mispredict: Option<u64>,
+    /// Whether the trace has been exhausted.
+    pub trace_done: bool,
+    /// Graduated instructions.
+    pub retired: u64,
+}
+
+impl std::fmt::Debug for ThreadContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadContext")
+            .field("id", &self.id)
+            .field("retired", &self.retired)
+            .field("fetch_buffer", &self.fetch_buffer.len())
+            .field("ap_window", &self.ap_window.len())
+            .field("iq", &self.iq.len())
+            .field("saq", &self.saq.len())
+            .field("rob", &self.rob.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadContext {
+    /// Creates the per-thread state for thread `id` under `config`, fed by
+    /// `trace`.
+    pub fn new(id: usize, config: &SimConfig, trace: Box<dyn TraceSource>) -> Self {
+        let ap_phys = config.effective_ap_phys_regs();
+        let ep_phys = config.effective_ep_phys_regs();
+        ThreadContext {
+            id,
+            trace,
+            fetch_buffer: VecDeque::with_capacity(config.fetch_buffer_capacity),
+            fetch_buffer_capacity: config.fetch_buffer_capacity,
+            ap_regs: RegisterFile::new(32, ap_phys),
+            ep_regs: RegisterFile::new(32, ep_phys),
+            ap_flags: ProducerFlags::new(ap_phys),
+            ep_flags: ProducerFlags::new(ep_phys),
+            ap_window: BoundedQueue::new(config.effective_ap_window_capacity()),
+            iq: BoundedQueue::new(config.effective_iq_capacity()),
+            saq: BoundedQueue::new(config.effective_saq_capacity()),
+            rob: Rob::new(config.effective_rob_capacity()),
+            predictor: BranchPredictor::new(config.bht_entries),
+            next_seq: 0,
+            unresolved_branches: 0,
+            blocked_on_mispredict: None,
+            trace_done: false,
+            retired: 0,
+        }
+    }
+
+    /// The in-order window for the given unit.
+    pub fn window(&self, unit: Unit) -> &BoundedQueue<InflightInst> {
+        match unit {
+            Unit::Ap => &self.ap_window,
+            Unit::Ep => &self.iq,
+        }
+    }
+
+    /// The in-order window for the given unit (mutable).
+    pub fn window_mut(&mut self, unit: Unit) -> &mut BoundedQueue<InflightInst> {
+        match unit {
+            Unit::Ap => &mut self.ap_window,
+            Unit::Ep => &mut self.iq,
+        }
+    }
+
+    /// Register file for a register class.
+    pub fn regs(&self, class: RegClass) -> &RegisterFile {
+        match class {
+            RegClass::Int => &self.ap_regs,
+            RegClass::Fp => &self.ep_regs,
+        }
+    }
+
+    /// Register file for a register class (mutable).
+    pub fn regs_mut(&mut self, class: RegClass) -> &mut RegisterFile {
+        match class {
+            RegClass::Int => &mut self.ap_regs,
+            RegClass::Fp => &mut self.ep_regs,
+        }
+    }
+
+    /// Producer flags for a register class.
+    pub fn flags(&self, class: RegClass) -> &ProducerFlags {
+        match class {
+            RegClass::Int => &self.ap_flags,
+            RegClass::Fp => &self.ep_flags,
+        }
+    }
+
+    /// Producer flags for a register class (mutable).
+    pub fn flags_mut(&mut self, class: RegClass) -> &mut ProducerFlags {
+        match class {
+            RegClass::Int => &mut self.ap_flags,
+            RegClass::Fp => &mut self.ep_flags,
+        }
+    }
+
+    /// Number of instructions pending dispatch (the I-COUNT metric used by
+    /// the fetch policy).
+    pub fn pending_dispatch(&self) -> usize {
+        self.fetch_buffer.len()
+    }
+
+    /// Whether the thread may fetch this cycle.
+    pub fn fetch_eligible(&self, max_unresolved_branches: usize) -> bool {
+        !self.trace_done
+            && self.blocked_on_mispredict.is_none()
+            && self.unresolved_branches < max_unresolved_branches
+            && self.fetch_buffer.len() < self.fetch_buffer_capacity
+    }
+
+    /// Whether the thread has completely drained (no work anywhere).
+    pub fn drained(&self) -> bool {
+        self.trace_done
+            && self.fetch_buffer.is_empty()
+            && self.ap_window.is_empty()
+            && self.iq.is_empty()
+            && self.rob.is_empty()
+    }
+
+    /// Whether a load with sequence number `load_seq` and memory reference
+    /// `mem` must wait because an older store in the SAQ may conflict.
+    ///
+    /// A load is blocked by an older store that overlaps its bytes until
+    /// that store leaves the SAQ at graduation (no forwarding network is
+    /// modelled). Older stores whose address is not yet known do not block
+    /// (optimistic disambiguation, as allowed by the SAQ design).
+    pub fn load_blocked_by_store(&self, load_seq: u64, mem: &MemRef) -> bool {
+        self.saq
+            .iter()
+            .any(|e| e.seq < load_seq && e.mem.overlaps(mem))
+    }
+
+    /// Marks the SAQ entry of the store with sequence `seq` as executed.
+    pub fn mark_store_executed(&mut self, seq: u64) {
+        for e in self.saq.iter_mut() {
+            if e.seq == seq {
+                e.executed = true;
+                return;
+            }
+        }
+    }
+
+    /// Removes the oldest store from the SAQ (called when a store
+    /// graduates; stores graduate in SAQ order).
+    pub fn pop_oldest_store(&mut self) {
+        let popped = self.saq.pop();
+        debug_assert!(popped.is_some(), "store graduated without a SAQ entry");
+    }
+}

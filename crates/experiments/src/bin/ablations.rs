@@ -1,0 +1,21 @@
+//! Runs the ablation studies that go beyond the paper's figures:
+//! instruction-queue depth, MSHR count, issue-width asymmetry and L1
+//! associativity.
+//!
+//! Usage: `cargo run --release -p dsmt-experiments --bin ablations`
+
+use dsmt_experiments::{ablations, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    eprintln!(
+        "running ablations ({} instructions/point, {} workers)...",
+        params.instructions_per_point, params.workers
+    );
+    let results = ablations::run(&params);
+    println!("{}", results.to_markdown());
+    println!("### Shape checks\n");
+    for (claim, ok) in results.shape_checks() {
+        println!("- [{}] {claim}", if ok { "x" } else { " " });
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment (Figures 1, 3, 4, 5 and the ablations) and prints
+//! a single consolidated report suitable for pasting into EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p dsmt-experiments --bin all_experiments`
+//! Set `DSMT_INSTS` to change the number of instructions per data point.
+
+use dsmt_experiments::{ablations, fig1, fig3, fig4, fig5, ExperimentParams};
+
+fn print_checks(checks: &[(String, bool)]) {
+    for (claim, ok) in checks {
+        println!("- [{}] {claim}", if *ok { "x" } else { " " });
+    }
+    println!();
+}
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    eprintln!(
+        "running all experiments ({} instructions/point, {} workers)",
+        params.instructions_per_point, params.workers
+    );
+
+    println!("## Figure 1 — latency hiding of single-threaded decoupling\n");
+    let f1 = fig1::run(&params);
+    println!("{}", f1.table_fig1a().to_markdown());
+    println!("{}", f1.table_fig1b().to_markdown());
+    println!("{}", f1.table_fig1c().to_markdown());
+    println!("{}", f1.table_fig1d().to_markdown());
+    print_checks(&f1.shape_checks());
+
+    println!("## Figure 3 — issue-slot breakdown vs thread count\n");
+    let f3 = fig3::run(&params);
+    println!("{}", f3.table().to_markdown());
+    print_checks(&f3.shape_checks());
+
+    println!("## Figure 4 — latency tolerance of the multithreaded decoupled machine\n");
+    let f4 = fig4::run(&params);
+    println!("{}", f4.table_fig4a().to_markdown());
+    println!("{}", f4.table_fig4b().to_markdown());
+    println!("{}", f4.table_fig4c().to_markdown());
+    print_checks(&f4.shape_checks());
+
+    println!("## Figure 5 — hardware contexts and bus saturation\n");
+    let f5 = fig5::run(&params);
+    println!("{}", f5.table(16).to_markdown());
+    println!("{}", f5.table(64).to_markdown());
+    print_checks(&f5.shape_checks());
+
+    println!("## Ablations (beyond the paper)\n");
+    let ab = ablations::run(&params);
+    println!("{}", ab.to_markdown());
+    print_checks(&ab.shape_checks());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 3: issue-slot breakdown of the multithreaded
+//! decoupled processor for 1–6 hardware contexts.
+//!
+//! Usage: `cargo run --release -p dsmt-experiments --bin fig3`
+
+use dsmt_experiments::{fig3, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    eprintln!(
+        "running Figure 3 sweep ({} instructions/point, {} workers)...",
+        params.instructions_per_point, params.workers
+    );
+    let results = fig3::run(&params);
+    println!("{}", results.table().to_markdown());
+    println!("### Shape checks vs the paper\n");
+    for (claim, ok) in results.shape_checks() {
+        println!("- [{}] {claim}", if ok { "x" } else { " " });
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 4 (a–c): perceived latency, relative IPC loss and IPC
+//! for 1–4 threads, with and without decoupling, across L2 latencies.
+//!
+//! Usage: `cargo run --release -p dsmt-experiments --bin fig4`
+
+use dsmt_experiments::{fig4, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    eprintln!(
+        "running Figure 4 sweep ({} instructions/point, {} workers)...",
+        params.instructions_per_point, params.workers
+    );
+    let results = fig4::run(&params);
+    println!("{}", results.table_fig4a().to_markdown());
+    println!("{}", results.table_fig4b().to_markdown());
+    println!("{}", results.table_fig4c().to_markdown());
+    println!("### Shape checks vs the paper\n");
+    for (claim, ok) in results.shape_checks() {
+        println!("- [{}] {claim}", if ok { "x" } else { " " });
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: IPC versus number of hardware contexts at L2 = 16
+//! and L2 = 64 for the decoupled and non-decoupled machines, plus external
+//! bus utilisation.
+//!
+//! Usage: `cargo run --release -p dsmt-experiments --bin fig5`
+
+use dsmt_experiments::{fig5, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    eprintln!(
+        "running Figure 5 sweep ({} instructions/point, {} workers)...",
+        params.instructions_per_point, params.workers
+    );
+    let results = fig5::run(&params);
+    println!("{}", results.table(16).to_markdown());
+    println!("{}", results.table(64).to_markdown());
+    println!("### Shape checks vs the paper\n");
+    for (claim, ok) in results.shape_checks() {
+        println!("- [{}] {claim}", if ok { "x" } else { " " });
+    }
+}

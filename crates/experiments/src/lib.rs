@@ -1,0 +1,44 @@
+//! # dsmt-experiments
+//!
+//! The experiment harness that regenerates every table and figure of
+//! *"The Synergy of Multithreading and Access/Execute Decoupling"*
+//! (HPCA 1999) on top of the [`dsmt_core`] simulator:
+//!
+//! * [`fig1`] — Section 2, Figures 1-a..1-d: latency-hiding effectiveness of
+//!   a single-threaded decoupled processor across the SPEC FP95 profiles.
+//! * [`fig3`] — Section 3.1, Figure 3: issue-slot breakdown of the
+//!   multithreaded decoupled processor for 1–6 threads.
+//! * [`fig4`] — Section 3.2, Figure 4: perceived latency, relative IPC loss
+//!   and absolute IPC for 1–4 threads with and without decoupling, across
+//!   L2 latencies.
+//! * [`fig5`] — Section 3.3, Figure 5: IPC versus number of hardware
+//!   contexts at L2 = 16 and L2 = 64, decoupled vs non-decoupled, plus
+//!   external bus utilisation.
+//! * [`ablations`] — studies beyond the paper: instruction-queue depth,
+//!   MSHR count, issue-width asymmetry and L1 associativity.
+//!
+//! Each module exposes a `run(&ExperimentParams)` function returning a
+//! structured result, plus formatting helpers that print the same rows or
+//! series the paper reports. The binaries (`fig1`, `fig3`, `fig4`, `fig5`,
+//! `ablations`, `all_experiments`) wrap those functions.
+//!
+//! Runs are parallelised across configurations with crossbeam scoped
+//! threads; each individual simulation stays single-threaded and
+//! deterministic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod report;
+pub mod runner;
+
+pub use report::Table;
+pub use runner::{parallel_map, ExperimentParams};
+
+/// The L2 latencies swept by the paper (Figures 1 and 4).
+pub const L2_LATENCIES: [u64; 6] = [1, 16, 32, 64, 128, 256];

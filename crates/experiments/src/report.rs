@@ -1,0 +1,143 @@
+//! Plain-text table formatting (markdown and CSV) for experiment reports.
+
+/// A simple column-oriented table that renders to markdown or CSV.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row length must match header count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience for rows of displayable values.
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.add_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title omitted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals (helper for tables).
+#[must_use]
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn fmt_pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["bench", "ipc"]);
+        t.add_row(vec!["tomcatv".to_string(), "2.52".to_string()]);
+        t.add_display_row(&["swim", "2.60"]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| bench   | ipc  |"));
+        assert!(md.contains("| tomcatv | 2.52 |"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.title(), "Demo");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.add_row(vec!["1".to_string(), "2".to_string()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.add_row(vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_pct(0.123), "12.3%");
+    }
+}

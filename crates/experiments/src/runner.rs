@@ -1,0 +1,194 @@
+//! Shared experiment infrastructure: parameters, single runs, and parallel
+//! sweeps over configurations.
+
+use dsmt_core::{Processor, SimConfig, SimResults};
+use dsmt_trace::{SyntheticTrace, ThreadWorkload, TraceSource};
+use parking_lot::Mutex;
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// Instructions simulated per data point.
+    pub instructions_per_point: u64,
+    /// Instructions per benchmark segment in multithreaded workloads.
+    pub insts_per_program: u64,
+    /// Workload / generator seed.
+    pub seed: u64,
+    /// Maximum worker threads for the parameter sweep.
+    pub workers: usize,
+}
+
+impl ExperimentParams {
+    /// Sensible defaults for regenerating the figures on a laptop:
+    /// 400k instructions per point, 40k-instruction program segments.
+    #[must_use]
+    pub fn standard() -> Self {
+        ExperimentParams {
+            instructions_per_point: 400_000,
+            insts_per_program: 40_000,
+            seed: 42,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+
+    /// A reduced configuration for quick smoke tests and benchmarks.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentParams {
+            instructions_per_point: 60_000,
+            insts_per_program: 15_000,
+            seed: 42,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+
+    /// Reads the scale from the `DSMT_INSTS` environment variable
+    /// (instructions per point), falling back to [`ExperimentParams::standard`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut p = ExperimentParams::standard();
+        if let Ok(v) = std::env::var("DSMT_INSTS") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                p.instructions_per_point = n.max(1_000);
+            }
+        }
+        p
+    }
+
+    /// The multithreaded SPEC FP95 workload used by the Section 3
+    /// experiments.
+    #[must_use]
+    pub fn spec_workload(&self) -> ThreadWorkload {
+        ThreadWorkload::spec_fp95(self.seed).with_insts_per_program(self.insts_per_program)
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams::standard()
+    }
+}
+
+/// Runs one simulation of the multithreaded SPEC FP95 workload under
+/// `config`.
+#[must_use]
+pub fn run_spec(config: SimConfig, params: &ExperimentParams) -> SimResults {
+    let workload = params.spec_workload();
+    Processor::with_workload(config, &workload).run(params.instructions_per_point)
+}
+
+/// Runs one single-benchmark, single-threaded simulation (Section 2 style).
+#[must_use]
+pub fn run_single_benchmark(
+    config: SimConfig,
+    profile: &dsmt_trace::BenchmarkProfile,
+    params: &ExperimentParams,
+) -> SimResults {
+    let trace = SyntheticTrace::new(profile, params.seed);
+    let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(trace)];
+    Processor::new(config, traces).run(params.instructions_per_point)
+}
+
+/// Applies `f` to every item of `inputs`, running up to `workers` items
+/// concurrently, and returns the outputs in input order.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let next = Mutex::new(0usize);
+    let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let out = f_ref(&inputs_ref[idx]);
+                outputs.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    outputs
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every input produces an output"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let out = parallel_map(inputs.clone(), 8, |x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_worker() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(empty, 4, |x: &u64| *x).is_empty());
+        let out = parallel_map(vec![1u64, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn params_constructors() {
+        let std = ExperimentParams::standard();
+        assert!(std.instructions_per_point >= 100_000);
+        let quick = ExperimentParams::quick();
+        assert!(quick.instructions_per_point < std.instructions_per_point);
+        assert!(std.workers >= 1);
+        assert_eq!(ExperimentParams::default(), std);
+    }
+
+    #[test]
+    fn quick_spec_run_produces_sane_results() {
+        let params = ExperimentParams {
+            instructions_per_point: 20_000,
+            insts_per_program: 5_000,
+            seed: 1,
+            workers: 2,
+        };
+        let r = run_spec(dsmt_core::SimConfig::paper_multithreaded(2), &params);
+        assert!(r.instructions >= 20_000);
+        assert!(r.ipc() > 0.3 && r.ipc() < 8.0);
+    }
+
+    #[test]
+    fn quick_single_benchmark_run() {
+        let params = ExperimentParams {
+            instructions_per_point: 15_000,
+            insts_per_program: 5_000,
+            seed: 1,
+            workers: 1,
+        };
+        let profile = dsmt_trace::spec_fp95_profile("mgrid").unwrap();
+        let cfg = dsmt_core::SimConfig::paper_single_thread_4wide();
+        let r = run_single_benchmark(cfg, &profile, &params);
+        assert!(r.instructions >= 15_000);
+        assert!(r.ipc() > 0.2 && r.ipc() < 4.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! The dynamic instruction record: what one trace entry carries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ArchReg, InstructionError, OpClass, RegClass, Unit};
+
+/// A memory reference carried by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Effective (virtual) byte address.
+    pub addr: u64,
+    /// Access size in bytes (typically 4 or 8).
+    pub size: u8,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    #[must_use]
+    pub fn new(addr: u64, size: u8) -> Self {
+        MemRef { addr, size }
+    }
+
+    /// Whether this reference overlaps another (byte-range intersection).
+    ///
+    /// Used by the store-address queue to decide whether a load may bypass a
+    /// pending store.
+    #[must_use]
+    pub fn overlaps(&self, other: &MemRef) -> bool {
+        let a_end = self.addr.saturating_add(u64::from(self.size));
+        let b_end = other.addr.saturating_add(u64::from(other.size));
+        self.addr < b_end && other.addr < a_end
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}+{}]", self.addr, self.size)
+    }
+}
+
+/// The dynamic outcome of a control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch was taken in the trace.
+    pub taken: bool,
+    /// The target PC (meaningful when taken).
+    pub target: u64,
+}
+
+impl BranchInfo {
+    /// Creates a branch outcome record.
+    #[must_use]
+    pub fn new(taken: bool, target: u64) -> Self {
+        BranchInfo { taken, target }
+    }
+
+    /// A taken branch to `target`.
+    #[must_use]
+    pub fn taken(target: u64) -> Self {
+        BranchInfo {
+            taken: true,
+            target,
+        }
+    }
+
+    /// A not-taken branch (fall-through).
+    #[must_use]
+    pub fn not_taken() -> Self {
+        BranchInfo {
+            taken: false,
+            target: 0,
+        }
+    }
+}
+
+/// One dynamic instruction, as recorded in (or synthesised into) a trace.
+///
+/// The struct is deliberately small and `Copy`: the simulator streams tens of
+/// millions of them.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_isa::{ArchReg, Instruction, OpClass};
+///
+/// let add = Instruction::new(0x2000, OpClass::FpAdd)
+///     .with_dest(ArchReg::fp(3))
+///     .with_src1(ArchReg::fp(1))
+///     .with_src2(ArchReg::fp(2));
+/// assert!(add.validate().is_ok());
+/// assert_eq!(add.to_string(), "0x2000: fadd f3, f1, f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if any.
+    pub dest: Option<ArchReg>,
+    /// First source register, if any.
+    pub src1: Option<ArchReg>,
+    /// Second source register, if any.
+    pub src2: Option<ArchReg>,
+    /// Memory reference for loads and stores.
+    pub mem: Option<MemRef>,
+    /// Dynamic outcome for control transfers.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Instruction {
+    /// Creates a bare instruction of the given class at the given PC.
+    #[must_use]
+    pub fn new(pc: u64, op: OpClass) -> Self {
+        Instruction {
+            pc,
+            op,
+            dest: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Sets the destination register.
+    #[must_use]
+    pub fn with_dest(mut self, dest: ArchReg) -> Self {
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Sets the first source register.
+    #[must_use]
+    pub fn with_src1(mut self, src: ArchReg) -> Self {
+        self.src1 = Some(src);
+        self
+    }
+
+    /// Sets the second source register.
+    #[must_use]
+    pub fn with_src2(mut self, src: ArchReg) -> Self {
+        self.src2 = Some(src);
+        self
+    }
+
+    /// Sets the memory reference.
+    #[must_use]
+    pub fn with_mem(mut self, addr: u64, size: u8) -> Self {
+        self.mem = Some(MemRef::new(addr, size));
+        self
+    }
+
+    /// Sets the branch outcome.
+    #[must_use]
+    pub fn with_branch(mut self, info: BranchInfo) -> Self {
+        self.branch = Some(info);
+        self
+    }
+
+    /// The unit that executes this instruction (dispatch steering).
+    #[must_use]
+    pub fn unit(&self) -> Unit {
+        crate::steer(self.op)
+    }
+
+    /// Iterator over the present source registers (skipping `None` and
+    /// hard-wired zero registers, which never create dependences).
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The destination register if it creates a real (non-zero-register)
+    /// definition.
+    #[must_use]
+    pub fn real_dest(&self) -> Option<ArchReg> {
+        self.dest.filter(|r| !r.is_zero())
+    }
+
+    /// Checks internal consistency of the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstructionError`] when the operation class and the
+    /// attached operands disagree (missing memory reference on a load,
+    /// FP load writing an integer register, branch without an outcome, ...).
+    pub fn validate(&self) -> Result<(), InstructionError> {
+        if self.op.is_mem() && self.mem.is_none() {
+            return Err(InstructionError::MissingMemRef);
+        }
+        if !self.op.is_mem() && self.mem.is_some() {
+            return Err(InstructionError::UnexpectedMemRef);
+        }
+        if self.op.is_control() && self.branch.is_none() {
+            return Err(InstructionError::MissingBranchInfo);
+        }
+        if !self.op.is_control() && self.branch.is_some() {
+            return Err(InstructionError::UnexpectedBranchInfo);
+        }
+        if (self.op.is_load() || self.op.is_fp_compute() || self.op.is_int_compute())
+            && self.dest.is_none()
+        {
+            return Err(InstructionError::MissingDest);
+        }
+        if let Some(dest) = self.dest {
+            let want_fp = self.op.writes_fp();
+            let want_int = self.op.writes_int();
+            if want_fp && dest.class() != RegClass::Fp {
+                return Err(InstructionError::DestClassMismatch);
+            }
+            if want_int && dest.class() != RegClass::Int {
+                return Err(InstructionError::DestClassMismatch);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.op)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = self.dest {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(s) = self.src1 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if let Some(s) = self.src2 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if let Some(m) = self.mem {
+            sep(f)?;
+            write!(f, "{m}")?;
+        }
+        if let Some(b) = self.branch {
+            sep(f)?;
+            if b.taken {
+                write!(f, "-> {:#x}", b.target)?;
+            } else {
+                write!(f, "not-taken")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_load() -> Instruction {
+        Instruction::new(0x1000, OpClass::LoadFp)
+            .with_dest(ArchReg::fp(2))
+            .with_src1(ArchReg::int(4))
+            .with_mem(0x8000, 8)
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let i = fp_load();
+        assert_eq!(i.pc, 0x1000);
+        assert_eq!(i.op, OpClass::LoadFp);
+        assert_eq!(i.dest, Some(ArchReg::fp(2)));
+        assert_eq!(i.src1, Some(ArchReg::int(4)));
+        assert_eq!(i.src2, None);
+        assert_eq!(i.mem, Some(MemRef::new(0x8000, 8)));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(fp_load().validate().is_ok());
+        let br = Instruction::new(0x4, OpClass::CondBranch)
+            .with_src1(ArchReg::int(1))
+            .with_branch(BranchInfo::taken(0x100));
+        assert!(br.validate().is_ok());
+        let nop = Instruction::new(0x8, OpClass::Nop);
+        assert!(nop.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_mem() {
+        let i = Instruction::new(0x0, OpClass::LoadInt).with_dest(ArchReg::int(1));
+        assert_eq!(i.validate(), Err(InstructionError::MissingMemRef));
+    }
+
+    #[test]
+    fn validate_rejects_unexpected_mem() {
+        let i = Instruction::new(0x0, OpClass::IntAlu)
+            .with_dest(ArchReg::int(1))
+            .with_mem(0x10, 8);
+        assert_eq!(i.validate(), Err(InstructionError::UnexpectedMemRef));
+    }
+
+    #[test]
+    fn validate_rejects_missing_branch_info() {
+        let i = Instruction::new(0x0, OpClass::CondBranch);
+        assert_eq!(i.validate(), Err(InstructionError::MissingBranchInfo));
+    }
+
+    #[test]
+    fn validate_rejects_unexpected_branch_info() {
+        let i = Instruction::new(0x0, OpClass::IntAlu)
+            .with_dest(ArchReg::int(1))
+            .with_branch(BranchInfo::not_taken());
+        assert_eq!(i.validate(), Err(InstructionError::UnexpectedBranchInfo));
+    }
+
+    #[test]
+    fn validate_rejects_missing_dest() {
+        let i = Instruction::new(0x0, OpClass::FpAdd).with_src1(ArchReg::fp(0));
+        assert_eq!(i.validate(), Err(InstructionError::MissingDest));
+    }
+
+    #[test]
+    fn validate_rejects_dest_class_mismatch() {
+        let i = Instruction::new(0x0, OpClass::LoadFp)
+            .with_dest(ArchReg::int(3))
+            .with_mem(0x10, 8);
+        assert_eq!(i.validate(), Err(InstructionError::DestClassMismatch));
+        let i = Instruction::new(0x0, OpClass::IntAlu).with_dest(ArchReg::fp(3));
+        assert_eq!(i.validate(), Err(InstructionError::DestClassMismatch));
+    }
+
+    #[test]
+    fn sources_skip_zero_registers() {
+        let i = Instruction::new(0x0, OpClass::IntAlu)
+            .with_dest(ArchReg::int(1))
+            .with_src1(ArchReg::int(31))
+            .with_src2(ArchReg::int(5));
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![ArchReg::int(5)]);
+    }
+
+    #[test]
+    fn real_dest_skips_zero_register() {
+        let i = Instruction::new(0x0, OpClass::IntAlu).with_dest(ArchReg::int(31));
+        assert_eq!(i.real_dest(), None);
+        let i = Instruction::new(0x0, OpClass::IntAlu).with_dest(ArchReg::int(7));
+        assert_eq!(i.real_dest(), Some(ArchReg::int(7)));
+    }
+
+    #[test]
+    fn memref_overlap() {
+        let a = MemRef::new(0x100, 8);
+        assert!(a.overlaps(&MemRef::new(0x100, 8)));
+        assert!(a.overlaps(&MemRef::new(0x104, 4)));
+        assert!(a.overlaps(&MemRef::new(0xf8, 16)));
+        assert!(!a.overlaps(&MemRef::new(0x108, 8)));
+        assert!(!a.overlaps(&MemRef::new(0xf8, 8)));
+    }
+
+    #[test]
+    fn unit_steering_via_method() {
+        assert_eq!(fp_load().unit(), Unit::Ap);
+        let fadd = Instruction::new(0x0, OpClass::FpAdd).with_dest(ArchReg::fp(0));
+        assert_eq!(fadd.unit(), Unit::Ep);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(fp_load().to_string(), "0x1000: ldt f2, r4, [0x8000+8]");
+        let br = Instruction::new(0x4, OpClass::CondBranch)
+            .with_src1(ArchReg::int(1))
+            .with_branch(BranchInfo::taken(0x100));
+        assert_eq!(br.to_string(), "0x4: br.c r1, -> 0x100");
+        let nt = Instruction::new(0x4, OpClass::CondBranch)
+            .with_src1(ArchReg::int(1))
+            .with_branch(BranchInfo::not_taken());
+        assert!(nt.to_string().ends_with("not-taken"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Architectural registers.
+//!
+//! The model follows the DEC Alpha register architecture used by the paper's
+//! traces: 32 integer registers (`r0`–`r31`, with `r31` hard-wired to zero)
+//! and 32 floating-point registers (`f0`–`f31`, with `f31` hard-wired to
+//! zero).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural integer registers (Alpha: `r0`–`r31`).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers (Alpha: `f0`–`f31`).
+pub const NUM_FP_REGS: usize = 32;
+
+/// The register file an architectural register belongs to.
+///
+/// In the decoupled architecture, integer registers are renamed onto the
+/// Address Processor's physical register file and floating-point registers
+/// onto the Execute Processor's physical register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file (lives in the AP).
+    Int,
+    /// Floating-point register file (lives in the EP).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a register class plus an index.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_isa::{ArchReg, RegClass};
+///
+/// let r4 = ArchReg::int(4);
+/// assert_eq!(r4.class(), RegClass::Int);
+/// assert_eq!(r4.index(), 4);
+/// assert!(!r4.is_zero());
+/// assert!(ArchReg::int(31).is_zero());
+/// assert_eq!(format!("{}", ArchReg::fp(7)), "f7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer register `r<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_INT_REGS,
+            "integer register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register `f<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FP_REGS,
+            "fp register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Creates a register from a class and an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        }
+    }
+
+    /// The register class (integer or floating point).
+    #[must_use]
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// The register index within its class (0..32).
+    #[must_use]
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// Whether this is the hard-wired zero register (`r31` / `f31`).
+    ///
+    /// Zero registers are never renamed and are always ready.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.index as usize == 31
+    }
+
+    /// Whether this register belongs to the integer file.
+    #[must_use]
+    pub fn is_int(&self) -> bool {
+        self.class == RegClass::Int
+    }
+
+    /// Whether this register belongs to the floating-point file.
+    #[must_use]
+    pub fn is_fp(&self) -> bool {
+        self.class == RegClass::Fp
+    }
+
+    /// A dense index across both register files, useful for table lookups:
+    /// integer registers map to `0..32`, FP registers to `32..64`.
+    #[must_use]
+    pub fn flat_index(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS + self.index as usize,
+        }
+    }
+
+    /// Inverse of [`ArchReg::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= 64`.
+    #[must_use]
+    pub fn from_flat_index(flat: usize) -> Self {
+        assert!(flat < NUM_INT_REGS + NUM_FP_REGS, "flat index out of range");
+        if flat < NUM_INT_REGS {
+            ArchReg::int(flat as u8)
+        } else {
+            ArchReg::fp((flat - NUM_INT_REGS) as u8)
+        }
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_constructors() {
+        let r = ArchReg::int(3);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 3);
+        assert!(r.is_int());
+        assert!(!r.is_fp());
+
+        let f = ArchReg::fp(9);
+        assert_eq!(f.class(), RegClass::Fp);
+        assert_eq!(f.index(), 9);
+        assert!(f.is_fp());
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(ArchReg::int(31).is_zero());
+        assert!(ArchReg::fp(31).is_zero());
+        assert!(!ArchReg::int(0).is_zero());
+        assert!(!ArchReg::fp(30).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_index_out_of_range_panics() {
+        let _ = ArchReg::fp(255);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        for i in 0..64 {
+            let r = ArchReg::from_flat_index(i);
+            assert_eq!(r.flat_index(), i);
+        }
+    }
+
+    #[test]
+    fn flat_index_partition() {
+        assert_eq!(ArchReg::int(0).flat_index(), 0);
+        assert_eq!(ArchReg::int(31).flat_index(), 31);
+        assert_eq!(ArchReg::fp(0).flat_index(), 32);
+        assert_eq!(ArchReg::fp(31).flat_index(), 63);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchReg::int(5).to_string(), "r5");
+        assert_eq!(ArchReg::fp(12).to_string(), "f12");
+        assert_eq!(RegClass::Int.to_string(), "int");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        assert_eq!(ArchReg::int(4), ArchReg::int(4));
+        assert_ne!(ArchReg::int(4), ArchReg::fp(4));
+        assert!(ArchReg::int(4) < ArchReg::fp(0));
+    }
+
+    #[test]
+    fn new_dispatches_on_class() {
+        assert_eq!(ArchReg::new(RegClass::Int, 7), ArchReg::int(7));
+        assert_eq!(ArchReg::new(RegClass::Fp, 7), ArchReg::fp(7));
+    }
+}

@@ -1,0 +1,130 @@
+//! Dispatch steering: which decoupled processing unit executes an
+//! instruction.
+//!
+//! The paper uses "a simple steering mechanism based on their data type
+//! (int or fp), except for memory instructions, which are all sent to the
+//! AP". Control transfers compute on integer data and are resolved at the
+//! AP (which enforces the 4-unresolved-branch control-speculation limit).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::OpClass;
+
+/// One of the two decoupled processing units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// The Address Processor: integer computation, all memory instructions
+    /// and control transfers. Short functional-unit latency (1 cycle in the
+    /// paper's configuration).
+    Ap,
+    /// The Execute Processor: floating-point computation. Longer
+    /// functional-unit latency (4 cycles in the paper's configuration).
+    Ep,
+}
+
+impl Unit {
+    /// Both units, AP first.
+    pub const ALL: [Unit; 2] = [Unit::Ap, Unit::Ep];
+
+    /// The other unit.
+    #[must_use]
+    pub fn other(&self) -> Unit {
+        match self {
+            Unit::Ap => Unit::Ep,
+            Unit::Ep => Unit::Ap,
+        }
+    }
+
+    /// A dense index (AP = 0, EP = 1) for per-unit statistics tables.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            Unit::Ap => 0,
+            Unit::Ep => 1,
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unit::Ap => write!(f, "AP"),
+            Unit::Ep => write!(f, "EP"),
+        }
+    }
+}
+
+/// Steers an operation class to the unit that executes it.
+///
+/// * All memory instructions (integer and FP loads and stores) → [`Unit::Ap`].
+/// * Integer computation, branches, jumps and nops → [`Unit::Ap`].
+/// * Floating-point computation → [`Unit::Ep`].
+///
+/// # Example
+///
+/// ```
+/// use dsmt_isa::{steer, OpClass, Unit};
+///
+/// assert_eq!(steer(OpClass::LoadFp), Unit::Ap);   // memory ⇒ AP
+/// assert_eq!(steer(OpClass::FpMul), Unit::Ep);    // fp compute ⇒ EP
+/// assert_eq!(steer(OpClass::IntAlu), Unit::Ap);
+/// ```
+#[must_use]
+pub fn steer(op: OpClass) -> Unit {
+    if op.is_fp_compute() {
+        Unit::Ep
+    } else {
+        Unit::Ap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_goes_to_ap() {
+        assert_eq!(steer(OpClass::LoadInt), Unit::Ap);
+        assert_eq!(steer(OpClass::LoadFp), Unit::Ap);
+        assert_eq!(steer(OpClass::StoreInt), Unit::Ap);
+        assert_eq!(steer(OpClass::StoreFp), Unit::Ap);
+    }
+
+    #[test]
+    fn fp_compute_goes_to_ep() {
+        assert_eq!(steer(OpClass::FpAdd), Unit::Ep);
+        assert_eq!(steer(OpClass::FpMul), Unit::Ep);
+        assert_eq!(steer(OpClass::FpDiv), Unit::Ep);
+    }
+
+    #[test]
+    fn int_and_control_go_to_ap() {
+        assert_eq!(steer(OpClass::IntAlu), Unit::Ap);
+        assert_eq!(steer(OpClass::IntMul), Unit::Ap);
+        assert_eq!(steer(OpClass::CondBranch), Unit::Ap);
+        assert_eq!(steer(OpClass::UncondBranch), Unit::Ap);
+        assert_eq!(steer(OpClass::Jump), Unit::Ap);
+        assert_eq!(steer(OpClass::Nop), Unit::Ap);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(Unit::Ap.other(), Unit::Ep);
+        assert_eq!(Unit::Ep.other(), Unit::Ap);
+        assert_eq!(Unit::Ap.index(), 0);
+        assert_eq!(Unit::Ep.index(), 1);
+        assert_eq!(Unit::Ap.to_string(), "AP");
+        assert_eq!(Unit::Ep.to_string(), "EP");
+    }
+
+    #[test]
+    fn every_op_class_is_steered() {
+        for op in OpClass::ALL {
+            // steer is total: must not panic and must return one of the two units.
+            let u = steer(op);
+            assert!(Unit::ALL.contains(&u));
+        }
+    }
+}

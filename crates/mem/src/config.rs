@@ -1,0 +1,214 @@
+//! Memory system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and behaviour of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (1 = direct mapped).
+    pub associativity: usize,
+    /// Number of access ports available per cycle.
+    pub ports: usize,
+    /// Number of Miss Status Holding Registers (outstanding misses).
+    pub mshrs: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 64 KB, direct mapped, 32-byte lines,
+    /// 4 ports, 16 MSHRs, 1-cycle hits, write back.
+    #[must_use]
+    pub fn paper_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 32,
+            associativity: 1,
+            ports: 4,
+            mshrs: 16,
+            hit_latency: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, capacity not a
+    /// multiple of `line_bytes * associativity`).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes > 0, "line size must be non-zero");
+        assert!(self.associativity > 0, "associativity must be non-zero");
+        let way_bytes = self.line_bytes * self.associativity;
+        assert!(
+            self.size_bytes > 0 && self.size_bytes % way_bytes == 0,
+            "cache size must be a non-zero multiple of line_bytes * associativity"
+        );
+        self.size_bytes / way_bytes
+    }
+
+    /// Validates the configuration, returning a human-readable reason when
+    /// it is unusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description when any field is zero or the
+    /// geometry is inconsistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a non-zero power of two".to_string());
+        }
+        if self.associativity == 0 {
+            return Err("associativity must be non-zero".to_string());
+        }
+        if self.size_bytes == 0 || self.size_bytes % (self.line_bytes * self.associativity) != 0 {
+            return Err(
+                "cache size must be a non-zero multiple of line_bytes * associativity".to_string(),
+            );
+        }
+        if self.ports == 0 {
+            return Err("cache must have at least one port".to_string());
+        }
+        if self.mshrs == 0 {
+            return Err("cache must have at least one MSHR".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the whole memory subsystem seen by the data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 data cache configuration.
+    pub l1d: CacheConfig,
+    /// L2 hit latency in cycles (the paper sweeps 1–256; its baseline is 16).
+    pub l2_latency: u64,
+    /// L1–L2 bus bandwidth in bytes per cycle (paper: 128-bit bus = 16 B/cycle).
+    pub bus_bytes_per_cycle: u64,
+    /// Whether the L1 is write back (dirty evictions generate bus traffic).
+    pub write_back: bool,
+    /// Whether stores allocate on miss.
+    pub write_allocate: bool,
+}
+
+impl MemConfig {
+    /// The paper's baseline memory system (Figure 2): 64 KB L1D as above,
+    /// 16-cycle L2, 16 bytes/cycle bus, write back, write allocate.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        MemConfig {
+            l1d: CacheConfig::paper_l1d(),
+            l2_latency: 16,
+            bus_bytes_per_cycle: 16,
+            write_back: true,
+            write_allocate: true,
+        }
+    }
+
+    /// Same configuration with a different L2 latency (the paper's sweep
+    /// variable).
+    #[must_use]
+    pub fn with_l2_latency(mut self, latency: u64) -> Self {
+        self.l2_latency = latency;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description when the L1 geometry is invalid or
+    /// the bus bandwidth is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1d.validate()?;
+        if self.bus_bytes_per_cycle == 0 {
+            return Err("bus bandwidth must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1d_geometry() {
+        let c = CacheConfig::paper_l1d();
+        assert_eq!(c.num_sets(), 2048);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_mem_config() {
+        let m = MemConfig::paper_default();
+        assert_eq!(m.l2_latency, 16);
+        assert_eq!(m.bus_bytes_per_cycle, 16);
+        assert!(m.write_back);
+        assert!(m.validate().is_ok());
+        assert_eq!(MemConfig::default(), m);
+    }
+
+    #[test]
+    fn with_l2_latency_overrides() {
+        let m = MemConfig::paper_default().with_l2_latency(256);
+        assert_eq!(m.l2_latency, 256);
+        assert_eq!(m.l1d, CacheConfig::paper_l1d());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = CacheConfig::paper_l1d();
+        c.line_bytes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::paper_l1d();
+        c.line_bytes = 24; // not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::paper_l1d();
+        c.associativity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::paper_l1d();
+        c.size_bytes = 1000; // not a multiple of 32
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::paper_l1d();
+        c.ports = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::paper_l1d();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+
+        let mut m = MemConfig::paper_default();
+        m.bus_bytes_per_cycle = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn set_associative_geometry() {
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 4,
+            ports: 2,
+            mshrs: 8,
+            hit_latency: 2,
+        };
+        assert_eq!(c.num_sets(), 128);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,260 @@
+//! Miss Status Holding Registers (MSHRs).
+//!
+//! The paper's L1 data cache is lockup-free with 16 MSHRs: up to 16 distinct
+//! cache lines may be outstanding at once, and secondary misses to a line
+//! that is already being fetched merge into the existing entry instead of
+//! generating new L2/bus traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must schedule the L2 access and
+    /// record the fill time with [`MshrFile::set_ready_cycle`].
+    Allocated,
+    /// The line is already outstanding; the miss merges with the existing
+    /// entry and the data will be available at `ready_cycle`.
+    Merged {
+        /// Cycle at which the already-outstanding fill completes.
+        ready_cycle: u64,
+    },
+    /// All MSHRs are busy: the access must be retried later (structural
+    /// hazard — this is what "lockup-free up to N misses" bounds).
+    Full,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    line_addr: u64,
+    ready_cycle: u64,
+}
+
+/// A file of miss status holding registers.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+    /// Peak simultaneous occupancy observed (useful for ablation studies).
+    peak_occupancy: usize,
+    /// Number of merged (secondary) misses.
+    merges: u64,
+    /// Number of times an access found the file full.
+    full_events: u64,
+}
+
+impl MshrFile {
+    /// Creates an empty MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file must have at least one entry");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            peak_occupancy: 0,
+            merges: 0,
+            full_events: 0,
+        }
+    }
+
+    /// Number of entries currently outstanding.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total capacity of the file.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Peak simultaneous occupancy observed since construction/reset.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of secondary misses that merged into an existing entry.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of accesses rejected because the file was full.
+    #[must_use]
+    pub fn full_events(&self) -> u64 {
+        self.full_events
+    }
+
+    /// Whether the file has no free entry.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Returns the pending fill-completion cycle if `line_addr` is already
+    /// outstanding, without counting a merge.
+    #[must_use]
+    pub fn lookup(&self, line_addr: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.ready_cycle)
+    }
+
+    /// Records a secondary (merged) miss on an outstanding line.
+    pub fn record_merge(&mut self) {
+        self.merges += 1;
+    }
+
+    /// Presents a miss on `line_addr` to the file.
+    ///
+    /// If the line is already outstanding the miss merges; if there is a free
+    /// entry one is allocated (the caller must then call
+    /// [`MshrFile::set_ready_cycle`] once it has scheduled the fill);
+    /// otherwise the file is full.
+    pub fn lookup_or_allocate(&mut self, line_addr: u64) -> MshrOutcome {
+        if let Some(e) = self.entries.iter().find(|e| e.line_addr == line_addr) {
+            self.merges += 1;
+            return MshrOutcome::Merged {
+                ready_cycle: e.ready_cycle,
+            };
+        }
+        if self.is_full() {
+            self.full_events += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push(Entry {
+            line_addr,
+            ready_cycle: u64::MAX,
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Records the cycle at which the fill for `line_addr` completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry for `line_addr` exists (allocate first).
+    pub fn set_ready_cycle(&mut self, line_addr: u64, ready_cycle: u64) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line_addr == line_addr)
+            .expect("set_ready_cycle called for a line with no MSHR entry");
+        entry.ready_cycle = ready_cycle;
+    }
+
+    /// Releases every entry whose fill has completed by `cycle`.
+    pub fn retire_completed(&mut self, cycle: u64) {
+        self.entries.retain(|e| e.ready_cycle > cycle);
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.peak_occupancy = 0;
+        self.merges = 0;
+        self.full_events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.lookup_or_allocate(0x100), MshrOutcome::Allocated);
+        m.set_ready_cycle(0x100, 50);
+        assert_eq!(
+            m.lookup_or_allocate(0x100),
+            MshrOutcome::Merged { ready_cycle: 50 }
+        );
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.lookup_or_allocate(0x0), MshrOutcome::Allocated);
+        assert_eq!(m.lookup_or_allocate(0x20), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.lookup_or_allocate(0x40), MshrOutcome::Full);
+        assert_eq!(m.full_events(), 1);
+        // But a merge to an outstanding line still works when full.
+        m.set_ready_cycle(0x0, 10);
+        assert_eq!(
+            m.lookup_or_allocate(0x0),
+            MshrOutcome::Merged { ready_cycle: 10 }
+        );
+    }
+
+    #[test]
+    fn retire_frees_entries() {
+        let mut m = MshrFile::new(2);
+        m.lookup_or_allocate(0x0);
+        m.set_ready_cycle(0x0, 10);
+        m.lookup_or_allocate(0x20);
+        m.set_ready_cycle(0x20, 30);
+        m.retire_completed(10);
+        assert_eq!(m.occupancy(), 1);
+        assert!(!m.is_full());
+        m.retire_completed(30);
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn retire_keeps_unset_entries() {
+        let mut m = MshrFile::new(2);
+        m.lookup_or_allocate(0x0);
+        // ready_cycle not set yet => must not be retired.
+        m.retire_completed(1_000_000);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5u64 {
+            m.lookup_or_allocate(i * 32);
+            m.set_ready_cycle(i * 32, 100);
+        }
+        m.retire_completed(100);
+        m.lookup_or_allocate(0x1000);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no MSHR entry")]
+    fn set_ready_without_allocation_panics() {
+        let mut m = MshrFile::new(2);
+        m.set_ready_cycle(0x123, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = MshrFile::new(2);
+        m.lookup_or_allocate(0x0);
+        m.lookup_or_allocate(0x0);
+        m.reset();
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.merges(), 0);
+        assert_eq!(m.peak_occupancy(), 0);
+        assert_eq!(m.full_events(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Binary trace file format.
+//!
+//! Allows captured or synthesised traces to be stored and replayed, so that
+//! expensive workload generation can be done once and experiments become
+//! exactly reproducible from on-disk artifacts (mirroring the paper's
+//! trace-driven methodology).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   8 bytes  "DSMTTRC1"
+//! count   u64 LE   number of instructions
+//! name    u16 LE length + UTF-8 bytes
+//! body    `count` encoded instructions (see dsmt-isa encoding)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use dsmt_isa::{decode_instruction, encode_instruction, Instruction, InstructionError};
+
+use crate::{TraceSource, VecTrace};
+
+/// Magic bytes identifying a DSMT trace file (version 1).
+pub const TRACE_MAGIC: &[u8; 8] = b"DSMTTRC1";
+
+/// Errors produced while reading or writing trace files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The file ended before the declared number of instructions.
+    Truncated,
+    /// An instruction record could not be decoded.
+    BadInstruction(InstructionError),
+    /// The embedded trace name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file i/o error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a DSMT trace file (bad magic)"),
+            TraceFileError::Truncated => write!(f, "trace file ends prematurely"),
+            TraceFileError::BadInstruction(e) => write!(f, "malformed instruction record: {e}"),
+            TraceFileError::BadName => write!(f, "trace name is not valid utf-8"),
+        }
+    }
+}
+
+impl Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            TraceFileError::BadInstruction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl From<InstructionError> for TraceFileError {
+    fn from(e: InstructionError) -> Self {
+        TraceFileError::BadInstruction(e)
+    }
+}
+
+/// Writes traces in the DSMT binary format.
+#[derive(Debug)]
+pub struct TraceWriter;
+
+impl TraceWriter {
+    /// Serialises `instructions` (with a trace `name`) into `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write<W: Write>(
+        writer: &mut W,
+        name: &str,
+        instructions: &[Instruction],
+    ) -> Result<(), TraceFileError> {
+        let mut buf = Vec::with_capacity(instructions.len() * 16 + 64);
+        buf.put_slice(TRACE_MAGIC);
+        buf.put_u64_le(instructions.len() as u64);
+        let name_bytes = name.as_bytes();
+        buf.put_u16_le(name_bytes.len().min(u16::MAX as usize) as u16);
+        buf.put_slice(&name_bytes[..name_bytes.len().min(u16::MAX as usize)]);
+        for inst in instructions {
+            encode_instruction(inst, &mut buf);
+        }
+        writer.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Serialises the next `n` instructions of `source` into `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_from_source<W: Write, S: TraceSource + ?Sized>(
+        writer: &mut W,
+        source: &mut S,
+        n: u64,
+    ) -> Result<u64, TraceFileError> {
+        let mut insts = Vec::new();
+        for _ in 0..n {
+            match source.next_instruction() {
+                Some(i) => insts.push(i),
+                None => break,
+            }
+        }
+        let name = source.name().to_string();
+        TraceWriter::write(writer, &name, &insts)?;
+        Ok(insts.len() as u64)
+    }
+}
+
+/// Reads traces in the DSMT binary format.
+#[derive(Debug)]
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Reads an entire trace file into a replayable [`VecTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError`] on I/O failure, bad magic, truncation or
+    /// malformed records.
+    pub fn read<R: Read>(reader: &mut R) -> Result<VecTrace, TraceFileError> {
+        let mut data = Vec::new();
+        reader.read_to_end(&mut data)?;
+        let mut buf = data.as_slice();
+        if buf.remaining() < TRACE_MAGIC.len() + 8 + 2 {
+            return Err(TraceFileError::Truncated);
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != TRACE_MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let count = buf.get_u64_le();
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(TraceFileError::Truncated);
+        }
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| TraceFileError::BadName)?
+            .to_string();
+        let mut instructions = Vec::with_capacity(count.min(1_000_000) as usize);
+        for _ in 0..count {
+            if !buf.has_remaining() {
+                return Err(TraceFileError::Truncated);
+            }
+            instructions.push(decode_instruction(&mut buf)?);
+        }
+        Ok(VecTrace::new(name, instructions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchmarkProfile, SyntheticTrace};
+
+    fn sample_trace(n: u64) -> Vec<Instruction> {
+        let p = BenchmarkProfile::baseline("roundtrip");
+        let mut t = SyntheticTrace::new(&p, 99);
+        (0..n).map(|_| t.next_instruction().unwrap()).collect()
+    }
+
+    #[test]
+    fn roundtrip_through_memory_buffer() {
+        let insts = sample_trace(500);
+        let mut buf = Vec::new();
+        TraceWriter::write(&mut buf, "roundtrip", &insts).unwrap();
+        let mut replay = TraceReader::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(replay.name(), "roundtrip");
+        assert_eq!(replay.len(), 500);
+        for want in &insts {
+            assert_eq!(replay.next_instruction().as_ref(), Some(want));
+        }
+        assert!(replay.next_instruction().is_none());
+    }
+
+    #[test]
+    fn write_from_source_counts() {
+        let p = BenchmarkProfile::baseline("src");
+        let mut t = SyntheticTrace::new(&p, 1);
+        let mut buf = Vec::new();
+        let written = TraceWriter::write_from_source(&mut buf, &mut t, 123).unwrap();
+        assert_eq!(written, 123);
+        let replay = TraceReader::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(replay.len(), 123);
+        assert_eq!(replay.name(), "src");
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let insts = sample_trace(3);
+        let mut buf = Vec::new();
+        TraceWriter::write(&mut buf, "x", &insts).unwrap();
+        buf[0] = b'X';
+        match TraceReader::read(&mut buf.as_slice()) {
+            Err(TraceFileError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let insts = sample_trace(50);
+        let mut buf = Vec::new();
+        TraceWriter::write(&mut buf, "x", &insts).unwrap();
+        let cut = &buf[..buf.len() / 2];
+        match TraceReader::read(&mut &cut[..]) {
+            Err(TraceFileError::Truncated) | Err(TraceFileError::BadInstruction(_)) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_is_truncated() {
+        match TraceReader::read(&mut &[][..]) {
+            Err(TraceFileError::Truncated) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        TraceWriter::write(&mut buf, "empty", &[]).unwrap();
+        let replay = TraceReader::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(replay.len(), 0);
+        assert!(replay.is_empty());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = TraceFileError::BadMagic;
+        assert!(e.to_string().contains("magic"));
+        let e = TraceFileError::Io(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

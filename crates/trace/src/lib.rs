@@ -1,0 +1,54 @@
+//! # dsmt-trace
+//!
+//! Workload traces for the DSMT simulator (reproduction of *"The Synergy of
+//! Multithreading and Access/Execute Decoupling"*, HPCA 1999).
+//!
+//! The paper drives its simulator with traces of the SPEC FP95 benchmarks
+//! obtained by instrumenting DEC Alpha binaries with ATOM. Neither the
+//! binaries, the inputs, nor ATOM are available today, so this crate
+//! provides the substitution documented in `DESIGN.md`:
+//!
+//! * [`BenchmarkProfile`] — a parameterised description of a benchmark's
+//!   *observable* behaviour: instruction mix, array footprints and strides,
+//!   floating-point dependence-chain shape, loss-of-decoupling events,
+//!   integer-load scheduling distance and branch predictability;
+//! * [`SyntheticTrace`] — a deterministic (seeded) generator that turns a
+//!   profile into an infinite instruction stream with those properties;
+//! * [`spec_fp95_profiles`] — ten profiles calibrated to the qualitative
+//!   characteristics the paper reports for tomcatv, swim, su2cor, hydro2d,
+//!   mgrid, applu, turb3d, apsi, fpppp and wave5;
+//! * [`MultiProgramTrace`] / [`ThreadWorkload`] — the paper's multithreaded
+//!   workload construction ("each thread consists of a sequence of traces
+//!   from all SpecFP95 programs, in a different order for each thread");
+//! * [`TraceWriter`] / [`TraceReader`] — a compact binary trace file format
+//!   so real traces can be captured, stored and replayed.
+//!
+//! # Example
+//!
+//! ```
+//! use dsmt_trace::{spec_fp95_profiles, SyntheticTrace, TraceSource};
+//!
+//! let profiles = spec_fp95_profiles();
+//! let mut trace = SyntheticTrace::new(&profiles[0], 42);
+//! let inst = trace.next_instruction().expect("synthetic traces are infinite");
+//! assert!(inst.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod file;
+mod profile;
+mod source;
+mod stats;
+mod synth;
+mod workload;
+
+pub use addr::{ArrayStream, ScalarRegion};
+pub use file::{TraceFileError, TraceReader, TraceWriter, TRACE_MAGIC};
+pub use profile::{spec_fp95_profiles, spec_fp95_profile, BenchmarkProfile};
+pub use source::{TraceSource, VecTrace};
+pub use stats::TraceStats;
+pub use synth::SyntheticTrace;
+pub use workload::{MultiProgramTrace, ThreadWorkload};

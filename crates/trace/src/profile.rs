@@ -1,0 +1,427 @@
+//! Benchmark profiles: parameterised descriptions of workload behaviour.
+//!
+//! The paper evaluates the SPEC FP95 suite. Its figures depend on a handful
+//! of per-benchmark properties, which these profiles encode explicitly:
+//!
+//! * the **instruction mix** (how much work goes to the AP vs the EP);
+//! * the **memory footprint, stride and reuse** (which set the L1 miss
+//!   ratios of Figure 1-c and the bus pressure of Figure 5);
+//! * the number of **parallel floating-point dependence chains** (which
+//!   bounds the EP's in-order ILP and hence single-thread IPC, Figure 3);
+//! * the **loss-of-decoupling rate** — how often AP instructions consume
+//!   EP-produced values, collapsing the slippage that hides memory latency
+//!   (this is what makes fpppp's FP-load latency visible in Figure 1-a);
+//! * the **integer-load scheduling distance** — how far the compiler managed
+//!   to hoist integer loads above their consumers (Figure 1-b);
+//! * **branch predictability**.
+
+use serde::{Deserialize, Serialize};
+
+/// A parameterised benchmark description used by
+/// [`crate::SyntheticTrace`] to synthesise an instruction stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"tomcatv"`).
+    pub name: String,
+    /// Approximate number of instructions per synthesised loop iteration.
+    pub iteration_length: usize,
+    /// Fraction of instructions that are floating-point loads.
+    pub frac_fp_load: f64,
+    /// Fraction of instructions that are integer loads.
+    pub frac_int_load: f64,
+    /// Fraction of instructions that are stores (FP stores).
+    pub frac_store: f64,
+    /// Fraction of instructions that are floating-point computation.
+    pub frac_fp_ops: f64,
+    /// Of the FP computation, the fraction that are long-latency divides.
+    pub fp_div_frac: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub frac_branch: f64,
+    /// Number of independent (interleaved) FP dependence chains per
+    /// iteration. This bounds the EP's in-order ILP: the EP sustains at most
+    /// `fp_parallel_chains / fp_latency` FP operations per cycle from one
+    /// thread.
+    pub fp_parallel_chains: usize,
+    /// Probability, per iteration, of a loss-of-decoupling event: an AP
+    /// instruction that reads an EP-produced (FP) value, forcing the AP to
+    /// synchronise with the EP.
+    pub lod_frac: f64,
+    /// Number of instructions between an integer load and its first
+    /// consumer (static scheduling quality of integer code).
+    pub int_load_use_dist: usize,
+    /// Fraction of data accesses that stream through the large arrays
+    /// (the rest hit a small, reused scalar region).
+    pub stream_frac: f64,
+    /// Fraction of *integer* loads that stream through the large arrays.
+    /// In numerical codes the missing loads are overwhelmingly FP array
+    /// element accesses; integer loads (loop/index/descriptor data) mostly
+    /// hit. Gather/scatter codes such as su2cor and wave5 stream index
+    /// arrays too, which is what exposes their integer-load latency.
+    pub int_stream_frac: f64,
+    /// Combined footprint of the streamed arrays in bytes.
+    pub array_footprint_bytes: u64,
+    /// Stride in bytes between consecutive accesses to the same array.
+    pub array_stride: u64,
+    /// Number of distinct arrays streamed concurrently.
+    pub num_arrays: usize,
+    /// Size of the heavily reused scalar/stack region in bytes.
+    pub scalar_region_bytes: u64,
+    /// Probability that the loop-closing branch is taken.
+    pub loop_branch_taken_rate: f64,
+    /// Unpredictability of non-loop branches in `[0, 1]`
+    /// (0 = always taken, 1 = random).
+    pub inner_branch_noise: f64,
+    /// Base address of the benchmark's (virtual) code region.
+    pub code_base: u64,
+    /// Base address of the benchmark's (virtual) data region.
+    pub data_base: u64,
+}
+
+impl BenchmarkProfile {
+    /// A neutral, well-behaved profile useful as a starting point for custom
+    /// workloads: moderate miss ratio, good decoupling, good scheduling.
+    #[must_use]
+    pub fn baseline(name: impl Into<String>) -> Self {
+        BenchmarkProfile {
+            name: name.into(),
+            iteration_length: 32,
+            frac_fp_load: 0.22,
+            frac_int_load: 0.06,
+            frac_store: 0.08,
+            frac_fp_ops: 0.40,
+            fp_div_frac: 0.02,
+            frac_branch: 0.06,
+            fp_parallel_chains: 5,
+            lod_frac: 0.02,
+            int_load_use_dist: 10,
+            stream_frac: 0.6,
+            int_stream_frac: 0.05,
+            array_footprint_bytes: 8 * 1024 * 1024,
+            array_stride: 8,
+            num_arrays: 4,
+            scalar_region_bytes: 4 * 1024,
+            loop_branch_taken_rate: 0.98,
+            inner_branch_noise: 0.1,
+            code_base: 0x0010_0000,
+            data_base: 0x1000_0000,
+        }
+    }
+
+    /// The fraction of instructions steered to the Execute Processor.
+    #[must_use]
+    pub fn ep_fraction(&self) -> f64 {
+        self.frac_fp_ops
+    }
+
+    /// The fraction of instructions steered to the Address Processor.
+    #[must_use]
+    pub fn ap_fraction(&self) -> f64 {
+        1.0 - self.frac_fp_ops
+    }
+
+    /// Checks that the mix fractions are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (fractions
+    /// outside `[0,1]`, mix summing above 1, zero iteration length, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("frac_fp_load", self.frac_fp_load),
+            ("frac_int_load", self.frac_int_load),
+            ("frac_store", self.frac_store),
+            ("frac_fp_ops", self.frac_fp_ops),
+            ("fp_div_frac", self.fp_div_frac),
+            ("frac_branch", self.frac_branch),
+            ("lod_frac", self.lod_frac),
+            ("stream_frac", self.stream_frac),
+            ("int_stream_frac", self.int_stream_frac),
+            ("loop_branch_taken_rate", self.loop_branch_taken_rate),
+            ("inner_branch_noise", self.inner_branch_noise),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be within [0, 1], got {v}"));
+            }
+        }
+        let mix = self.frac_fp_load
+            + self.frac_int_load
+            + self.frac_store
+            + self.frac_fp_ops
+            + self.frac_branch;
+        if mix > 1.0 + 1e-9 {
+            return Err(format!("instruction mix fractions sum to {mix} > 1"));
+        }
+        if self.iteration_length < 8 {
+            return Err("iteration_length must be at least 8".to_string());
+        }
+        if self.fp_parallel_chains == 0 || self.fp_parallel_chains > 8 {
+            return Err("fp_parallel_chains must be in 1..=8".to_string());
+        }
+        if self.num_arrays == 0 {
+            return Err("num_arrays must be non-zero".to_string());
+        }
+        if self.array_footprint_bytes == 0
+            || self.array_stride == 0
+            || self.scalar_region_bytes == 0
+        {
+            return Err("footprint, stride and scalar region must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Returns the profile for one SPEC FP95 benchmark by name, if known.
+#[must_use]
+pub fn spec_fp95_profile(name: &str) -> Option<BenchmarkProfile> {
+    spec_fp95_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// The ten SPEC FP95 benchmark profiles, in the paper's order:
+/// tomcatv, swim, su2cor, hydro2d, mgrid, applu, turb3d, apsi, fpppp, wave5.
+///
+/// The parameters are calibrated to the qualitative behaviour the paper
+/// reports:
+///
+/// * tomcatv, swim, mgrid, applu, apsi: decouple well, latency well hidden;
+/// * fpppp, turb3d: very low miss ratios, so latency barely matters, but
+///   poor decoupling / integer-load scheduling (large *perceived* latency);
+/// * su2cor, wave5, hydro2d: both significant miss ratios and exposed
+///   latency — the programs most degraded by a slow L2.
+#[must_use]
+pub fn spec_fp95_profiles() -> Vec<BenchmarkProfile> {
+    let mb = 1024 * 1024;
+    let mut profiles = Vec::new();
+
+    // Helper that derives per-benchmark address bases so that benchmarks do
+    // not share data regions even within one thread.
+    let make = |idx: u64, name: &str| {
+        let mut p = BenchmarkProfile::baseline(name);
+        p.code_base = 0x0010_0000 + idx * 0x0001_0000;
+        p.data_base = 0x1000_0000 + idx * 0x0400_0000;
+        p
+    };
+
+    // tomcatv: vectorizable mesh generation; streams large arrays with unit
+    // stride, decouples very well, integer address code well scheduled.
+    let mut p = make(0, "tomcatv");
+    p.stream_frac = 0.45;
+    p.array_footprint_bytes = 14 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.01;
+    p.int_load_use_dist = 40;
+    p.int_stream_frac = 0.02;
+    p.fp_parallel_chains = 5;
+    profiles.push(p);
+
+    // swim: shallow-water model, very similar memory behaviour to tomcatv.
+    let mut p = make(1, "swim");
+    p.stream_frac = 0.42;
+    p.array_footprint_bytes = 14 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.005;
+    p.int_load_use_dist = 40;
+    p.int_stream_frac = 0.02;
+    p.fp_parallel_chains = 5;
+    profiles.push(p);
+
+    // su2cor: quantum physics; significant miss ratio and poorly scheduled
+    // integer loads (indirect addressing), so integer-load latency shows.
+    let mut p = make(2, "su2cor");
+    p.stream_frac = 0.30;
+    p.int_stream_frac = 0.30;
+    p.array_footprint_bytes = 8 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.05;
+    p.int_load_use_dist = 2;
+    p.frac_int_load = 0.09;
+    p.fp_parallel_chains = 4;
+    profiles.push(p);
+
+    // hydro2d: Navier-Stokes; high miss ratio, moderate exposure.
+    let mut p = make(3, "hydro2d");
+    p.stream_frac = 0.40;
+    p.int_stream_frac = 0.08;
+    p.array_footprint_bytes = 9 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.03;
+    p.int_load_use_dist = 6;
+    p.fp_parallel_chains = 4;
+    profiles.push(p);
+
+    // mgrid: multigrid solver; unit-stride sweeps, decouples well.
+    let mut p = make(4, "mgrid");
+    p.stream_frac = 0.20;
+    p.array_footprint_bytes = 8 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.01;
+    p.int_load_use_dist = 36;
+    p.int_stream_frac = 0.02;
+    p.fp_parallel_chains = 5;
+    profiles.push(p);
+
+    // applu: parabolic/elliptic PDE solver; similar to mgrid.
+    let mut p = make(5, "applu");
+    p.stream_frac = 0.20;
+    p.array_footprint_bytes = 8 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.02;
+    p.int_load_use_dist = 36;
+    p.int_stream_frac = 0.02;
+    p.fp_parallel_chains = 4;
+    profiles.push(p);
+
+    // turb3d: turbulence simulation; small working set (very low miss
+    // ratio) but poorly scheduled integer loads.
+    let mut p = make(6, "turb3d");
+    p.stream_frac = 0.15;
+    p.int_stream_frac = 0.30;
+    p.array_footprint_bytes = 48 * 1024;
+    p.array_stride = 8;
+    p.lod_frac = 0.05;
+    p.int_load_use_dist = 2;
+    p.frac_int_load = 0.08;
+    p.fp_parallel_chains = 5;
+    profiles.push(p);
+
+    // apsi: mesoscale weather; moderate footprint, decouples well.
+    let mut p = make(7, "apsi");
+    p.stream_frac = 0.15;
+    p.array_footprint_bytes = 2 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.02;
+    p.int_load_use_dist = 36;
+    p.int_stream_frac = 0.02;
+    p.fp_parallel_chains = 4;
+    profiles.push(p);
+
+    // fpppp: quantum chemistry; tiny working set (negligible miss ratio),
+    // huge basic blocks with plenty of FP ILP, but frequent FP-to-integer
+    // transfers: the textbook example of a program that decouples badly.
+    let mut p = make(8, "fpppp");
+    p.stream_frac = 0.10;
+    p.int_stream_frac = 0.20;
+    p.array_footprint_bytes = 32 * 1024;
+    p.array_stride = 8;
+    p.lod_frac = 0.70;
+    p.int_load_use_dist = 1;
+    p.frac_branch = 0.02;
+    p.frac_fp_ops = 0.48;
+    p.frac_fp_load = 0.20;
+    p.fp_parallel_chains = 6;
+    profiles.push(p);
+
+    // wave5: plasma simulation; significant miss ratio, gather/scatter style
+    // indexing gives poorly scheduled integer loads.
+    let mut p = make(9, "wave5");
+    p.stream_frac = 0.30;
+    p.int_stream_frac = 0.30;
+    p.array_footprint_bytes = 8 * mb;
+    p.array_stride = 8;
+    p.lod_frac = 0.04;
+    p.int_load_use_dist = 2;
+    p.frac_int_load = 0.09;
+    p.fp_parallel_chains = 4;
+    profiles.push(p);
+
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_profiles_in_paper_order() {
+        let ps = spec_fp95_profiles();
+        let names: Vec<_> = ps.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi",
+                "fpppp", "wave5"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in spec_fp95_profiles() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+        assert!(BenchmarkProfile::baseline("custom").validate().is_ok());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_fp95_profile("fpppp").is_some());
+        assert!(spec_fp95_profile("gcc").is_none());
+    }
+
+    #[test]
+    fn fpppp_decouples_badly_and_misses_rarely() {
+        let fpppp = spec_fp95_profile("fpppp").unwrap();
+        let tomcatv = spec_fp95_profile("tomcatv").unwrap();
+        assert!(fpppp.lod_frac > 10.0 * tomcatv.lod_frac);
+        assert!(fpppp.array_footprint_bytes < 64 * 1024);
+        assert!(tomcatv.array_footprint_bytes > 1024 * 1024);
+    }
+
+    #[test]
+    fn poor_integer_scheduling_benchmarks() {
+        for name in ["su2cor", "turb3d", "wave5", "fpppp"] {
+            let p = spec_fp95_profile(name).unwrap();
+            assert!(p.int_load_use_dist <= 2, "{name} should expose int loads");
+        }
+        for name in ["tomcatv", "swim", "mgrid", "applu", "apsi"] {
+            let p = spec_fp95_profile(name).unwrap();
+            assert!(p.int_load_use_dist >= 10, "{name} should hide int loads");
+        }
+    }
+
+    #[test]
+    fn distinct_address_spaces_per_benchmark() {
+        let ps = spec_fp95_profiles();
+        for (i, a) in ps.iter().enumerate() {
+            for b in ps.iter().skip(i + 1) {
+                assert_ne!(a.code_base, b.code_base);
+                assert_ne!(a.data_base, b.data_base);
+            }
+        }
+    }
+
+    #[test]
+    fn ap_ep_fractions_are_complementary() {
+        let p = BenchmarkProfile::baseline("x");
+        assert!((p.ap_fraction() + p.ep_fraction() - 1.0).abs() < 1e-12);
+        assert!(p.ap_fraction() > 0.5, "AP handles the majority of the mix");
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.frac_fp_ops = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.frac_fp_load = 0.5;
+        p.frac_fp_ops = 0.6;
+        assert!(p.validate().is_err());
+
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.iteration_length = 4;
+        assert!(p.validate().is_err());
+
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.fp_parallel_chains = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.array_stride = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = BenchmarkProfile::baseline("bad");
+        p.num_arrays = 0;
+        assert!(p.validate().is_err());
+    }
+}

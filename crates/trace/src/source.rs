@@ -1,0 +1,122 @@
+//! The trace source abstraction consumed by the simulator's fetch stage.
+
+use dsmt_isa::Instruction;
+
+/// A stream of dynamic instructions.
+///
+/// Synthetic traces are infinite; file-backed traces end (return `None`).
+/// The simulator's fetch stage pulls instructions one at a time, in program
+/// order per thread.
+pub trait TraceSource {
+    /// The next dynamic instruction, or `None` when the trace is exhausted.
+    fn next_instruction(&mut self) -> Option<Instruction>;
+
+    /// A human-readable name (benchmark or file name) for reports.
+    fn name(&self) -> &str {
+        "trace"
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        (**self).next_instruction()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A trace backed by an in-memory vector (useful for tests and tiny
+/// hand-written kernels).
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    name: String,
+    instructions: Vec<Instruction>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Creates a trace that replays `instructions` once.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instructions: Vec<Instruction>) -> Self {
+        VecTrace {
+            name: name.into(),
+            instructions,
+            pos: 0,
+        }
+    }
+
+    /// Number of instructions remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.instructions.len() - self.pos
+    }
+
+    /// Total number of instructions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the trace holds no instructions at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        let inst = self.instructions.get(self.pos).copied();
+        if inst.is_some() {
+            self.pos += 1;
+        }
+        inst
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmt_isa::{ArchReg, OpClass};
+
+    fn insts(n: usize) -> Vec<Instruction> {
+        (0..n)
+            .map(|i| Instruction::new(i as u64 * 4, OpClass::IntAlu).with_dest(ArchReg::int(1)))
+            .collect()
+    }
+
+    #[test]
+    fn vec_trace_replays_in_order_then_ends() {
+        let mut t = VecTrace::new("kernel", insts(3));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.next_instruction().unwrap().pc, 0);
+        assert_eq!(t.next_instruction().unwrap().pc, 4);
+        assert_eq!(t.remaining(), 1);
+        assert_eq!(t.next_instruction().unwrap().pc, 8);
+        assert!(t.next_instruction().is_none());
+        assert!(t.next_instruction().is_none());
+        assert_eq!(t.name(), "kernel");
+    }
+
+    #[test]
+    fn boxed_trace_source_works() {
+        let mut boxed: Box<dyn TraceSource> = Box::new(VecTrace::new("k", insts(1)));
+        assert!(boxed.next_instruction().is_some());
+        assert!(boxed.next_instruction().is_none());
+        assert_eq!(boxed.name(), "k");
+    }
+
+    #[test]
+    fn empty_vec_trace() {
+        let mut t = VecTrace::new("empty", Vec::new());
+        assert!(t.is_empty());
+        assert!(t.next_instruction().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Summary statistics over a trace prefix (instruction mix, memory
+//! behaviour), used for sanity-checking generated workloads.
+
+use std::collections::HashMap;
+
+use dsmt_isa::{OpClass, Unit};
+use serde::{Deserialize, Serialize};
+
+use crate::TraceSource;
+
+/// Instruction-mix and address-stream statistics over a trace prefix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of instructions observed.
+    pub instructions: u64,
+    /// Count per operation class (keyed by the mnemonic).
+    pub per_class: HashMap<String, u64>,
+    /// Instructions steered to the AP.
+    pub ap_instructions: u64,
+    /// Instructions steered to the EP.
+    pub ep_instructions: u64,
+    /// Number of distinct 32-byte lines touched by memory instructions.
+    pub distinct_lines: u64,
+    /// Number of taken branches.
+    pub taken_branches: u64,
+    /// Number of control instructions.
+    pub branches: u64,
+}
+
+impl TraceStats {
+    /// Collects statistics over the next `n` instructions of `source`.
+    /// Stops early if the trace ends.
+    pub fn collect<S: TraceSource + ?Sized>(source: &mut S, n: u64) -> Self {
+        let mut stats = TraceStats::default();
+        let mut lines = std::collections::HashSet::new();
+        for _ in 0..n {
+            let Some(inst) = source.next_instruction() else {
+                break;
+            };
+            stats.instructions += 1;
+            *stats
+                .per_class
+                .entry(inst.op.mnemonic().to_string())
+                .or_insert(0) += 1;
+            match inst.unit() {
+                Unit::Ap => stats.ap_instructions += 1,
+                Unit::Ep => stats.ep_instructions += 1,
+            }
+            if let Some(m) = inst.mem {
+                lines.insert(m.addr / 32);
+            }
+            if inst.op.is_control() {
+                stats.branches += 1;
+                if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                    stats.taken_branches += 1;
+                }
+            }
+        }
+        stats.distinct_lines = lines.len() as u64;
+        stats
+    }
+
+    /// Fraction of instructions in the given class.
+    #[must_use]
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let count = self.per_class.get(op.mnemonic()).copied().unwrap_or(0);
+        count as f64 / self.instructions as f64
+    }
+
+    /// Fraction of instructions steered to the EP.
+    #[must_use]
+    pub fn ep_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.ep_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of loads (integer + FP).
+    #[must_use]
+    pub fn load_fraction(&self) -> f64 {
+        self.fraction(OpClass::LoadInt) + self.fraction(OpClass::LoadFp)
+    }
+
+    /// Fraction of taken branches among control instructions.
+    #[must_use]
+    pub fn taken_branch_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.taken_branches as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec_fp95_profile, BenchmarkProfile, SyntheticTrace, VecTrace};
+    use dsmt_isa::{ArchReg, Instruction};
+
+    #[test]
+    fn collect_counts_classes() {
+        let insts = vec![
+            Instruction::new(0, OpClass::IntAlu).with_dest(ArchReg::int(1)),
+            Instruction::new(4, OpClass::LoadFp)
+                .with_dest(ArchReg::fp(1))
+                .with_mem(0x100, 8),
+            Instruction::new(8, OpClass::FpAdd)
+                .with_dest(ArchReg::fp(2))
+                .with_src1(ArchReg::fp(1)),
+        ];
+        let mut t = VecTrace::new("k", insts);
+        let s = TraceStats::collect(&mut t, 100);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.per_class.get("ialu"), Some(&1));
+        assert_eq!(s.per_class.get("ldt"), Some(&1));
+        assert_eq!(s.ap_instructions, 2);
+        assert_eq!(s.ep_instructions, 1);
+        assert_eq!(s.distinct_lines, 1);
+        assert!((s.fraction(OpClass::FpAdd) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.load_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let mut t = VecTrace::new("e", Vec::new());
+        let s = TraceStats::collect(&mut t, 10);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.fraction(OpClass::IntAlu), 0.0);
+        assert_eq!(s.ep_fraction(), 0.0);
+        assert_eq!(s.taken_branch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn synthetic_mix_matches_profile_via_stats() {
+        let p = BenchmarkProfile::baseline("t");
+        let mut t = SyntheticTrace::new(&p, 5);
+        let s = TraceStats::collect(&mut t, 30_000);
+        assert!((s.fraction(OpClass::LoadFp) - p.frac_fp_load).abs() < 0.05);
+        assert!((s.ep_fraction() - p.frac_fp_ops).abs() < 0.07);
+        assert!(s.taken_branch_fraction() > 0.6);
+    }
+
+    #[test]
+    fn footprint_differs_between_benchmarks() {
+        let small = spec_fp95_profile("fpppp").unwrap();
+        let large = spec_fp95_profile("swim").unwrap();
+        let s_small = TraceStats::collect(&mut SyntheticTrace::new(&small, 1), 30_000);
+        let s_large = TraceStats::collect(&mut SyntheticTrace::new(&large, 1), 30_000);
+        assert!(s_large.distinct_lines > 2 * s_small.distinct_lines);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fetch thread selection.
+//!
+//! The paper fetches from two threads per cycle, each supplying up to eight
+//! consecutive instructions, choosing "those with less instructions pending
+//! to be dispatched (similar to the RR-2.8 with I-COUNT schemes)".
+
+/// Selects up to `max_threads` eligible threads with the fewest pending
+/// (fetched but not yet dispatched) instructions.
+///
+/// Ties are broken by thread index rotated by `rotation`, so that equally
+/// loaded threads share fetch bandwidth fairly over time.
+///
+/// # Panics
+///
+/// Panics if `pending` and `eligible` have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_uarch::icount_pick;
+///
+/// let pending = [5, 0, 3, 0];
+/// let eligible = [true, true, true, true];
+/// // The two least-loaded threads are 1 and 3.
+/// assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![1, 3]);
+/// ```
+#[must_use]
+pub fn icount_pick(
+    pending: &[usize],
+    eligible: &[bool],
+    max_threads: usize,
+    rotation: usize,
+) -> Vec<usize> {
+    assert_eq!(
+        pending.len(),
+        eligible.len(),
+        "pending and eligible must describe the same threads"
+    );
+    let n = pending.len();
+    if n == 0 || max_threads == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<usize> = (0..n).filter(|&i| eligible[i]).collect();
+    // Sort by pending count; tie-break by rotated index for fairness.
+    candidates.sort_by_key(|&i| (pending[i], (i + n - rotation % n) % n));
+    candidates.truncate(max_threads);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_least_loaded() {
+        let pending = [10, 2, 7, 1];
+        let eligible = [true; 4];
+        assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![3, 1]);
+    }
+
+    #[test]
+    fn respects_eligibility() {
+        let pending = [10, 2, 7, 1];
+        let eligible = [true, false, true, false];
+        assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![2, 0]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_slots() {
+        let pending = [3, 4];
+        let eligible = [true, false];
+        assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![0]);
+        assert_eq!(
+            icount_pick(&pending, &[false, false], 2, 0),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn zero_slots_returns_empty() {
+        let pending = [1, 2];
+        let eligible = [true, true];
+        assert_eq!(icount_pick(&pending, &eligible, 0, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ties_rotate_with_rotation_parameter() {
+        let pending = [0, 0, 0, 0];
+        let eligible = [true; 4];
+        assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![0, 1]);
+        assert_eq!(icount_pick(&pending, &eligible, 2, 1), vec![1, 2]);
+        assert_eq!(icount_pick(&pending, &eligible, 2, 3), vec![3, 0]);
+    }
+
+    #[test]
+    fn rotation_fairness_over_many_cycles() {
+        let pending = [0usize; 4];
+        let eligible = [true; 4];
+        let mut counts = [0usize; 4];
+        for cycle in 0..400 {
+            for t in icount_pick(&pending, &eligible, 2, cycle) {
+                counts[t] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 200), "counts {counts:?}");
+    }
+
+    #[test]
+    fn single_thread_always_picked() {
+        assert_eq!(icount_pick(&[100], &[true], 2, 5), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same threads")]
+    fn mismatched_lengths_panic() {
+        let _ = icount_pick(&[1, 2], &[true], 2, 0);
+    }
+
+    #[test]
+    fn empty_inputs_return_empty() {
+        assert_eq!(icount_pick(&[], &[], 2, 0), Vec::<usize>::new());
+    }
+}

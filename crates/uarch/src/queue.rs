@@ -1,0 +1,257 @@
+//! A bounded FIFO queue.
+//!
+//! Used for the per-thread Instruction Queue (the structure whose presence
+//! *is* decoupling: it lets the AP slip ahead of the EP) and the Store
+//! Address Queue (which lets loads bypass pending stores).
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with a hard capacity.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    peak_occupancy: usize,
+    rejected: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue with room for `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            peak_occupancy: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Maximum number of items the queue can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Highest occupancy seen since construction.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of pushes rejected because the queue was full.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Appends an item. On a full queue the item is handed back as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak_occupancy = self.peak_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// A reference to the oldest item.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// A mutable reference to the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Iterates oldest-to-youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Iterates mutably oldest-to-youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes every item that matches the predicate, preserving order of
+    /// the rest.
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, f: F) {
+        self.items.retain(f);
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_and_rejection() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.free_slots(), 0);
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.rejected(), 1);
+        q.pop();
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn front_access() {
+        let mut q = BoundedQueue::new(4);
+        assert!(q.front().is_none());
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.front(), Some(&10));
+        *q.front_mut().unwrap() = 11;
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        q.push(9).unwrap();
+        assert_eq!(q.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn iteration_and_retain() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4, 5]);
+        q.retain(|x| x % 2 == 0);
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![0, 2, 4]);
+        for x in q.iter_mut() {
+            *x += 1;
+        }
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+
+    #[test]
+    fn paper_queue_sizes_construct() {
+        // Figure 2: Instruction Queue 48 entries, Store Address Queue 32.
+        let iq: BoundedQueue<u64> = BoundedQueue::new(48);
+        let saq: BoundedQueue<u64> = BoundedQueue::new(32);
+        assert_eq!(iq.capacity(), 48);
+        assert_eq!(saq.capacity(), 32);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The queue never exceeds its capacity and pops return pushed items
+        /// in FIFO order.
+        #[test]
+        fn bounded_fifo_behaviour(ops in prop::collection::vec(prop::option::of(0u32..100), 1..300)) {
+            let mut q = BoundedQueue::new(5);
+            let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let accepted = q.push(v).is_ok();
+                        if model.len() < 5 {
+                            prop_assert!(accepted);
+                            model.push_back(v);
+                        } else {
+                            prop_assert!(!accepted);
+                        }
+                    }
+                    None => {
+                        prop_assert_eq!(q.pop(), model.pop_front());
+                    }
+                }
+                prop_assert!(q.len() <= 5);
+                prop_assert_eq!(q.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! A reorder buffer supporting in-order graduation.
+//!
+//! The simulator uses one ROB per thread to bound the number of in-flight
+//! instructions, to retire them in program order (the paper supports precise
+//! exceptions via "a reorder buffer, a graduation mechanism, and a register
+//! renaming map table"), and to release superseded physical registers at
+//! graduation time.
+
+use std::collections::VecDeque;
+
+/// An opaque handle to an entry in a [`Rob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RobToken(u64);
+
+#[derive(Debug)]
+struct Entry<T> {
+    seq: u64,
+    completed: bool,
+    payload: T,
+}
+
+/// A bounded, in-order reorder buffer carrying an arbitrary payload per
+/// entry.
+#[derive(Debug)]
+pub struct Rob<T> {
+    entries: VecDeque<Entry<T>>,
+    capacity: usize,
+    next_seq: u64,
+    retired: u64,
+}
+
+impl<T> Rob<T> {
+    /// Creates an empty ROB with room for `capacity` in-flight instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be non-zero");
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            retired: 0,
+        }
+    }
+
+    /// Maximum number of in-flight entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of in-flight entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the ROB is full (dispatch must stall).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total number of entries retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Allocates an entry at the tail. Returns `None` when the ROB is full.
+    pub fn push(&mut self, payload: T) -> Option<RobToken> {
+        if self.is_full() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(Entry {
+            seq,
+            completed: false,
+            payload,
+        });
+        Some(RobToken(seq))
+    }
+
+    fn position(&self, token: RobToken) -> Option<usize> {
+        let head_seq = self.entries.front()?.seq;
+        if token.0 < head_seq {
+            return None;
+        }
+        let idx = (token.0 - head_seq) as usize;
+        if idx < self.entries.len() {
+            debug_assert_eq!(self.entries[idx].seq, token.0);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Marks the entry identified by `token` as completed (eligible for
+    /// graduation once it reaches the head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token does not refer to an in-flight entry (e.g. it was
+    /// already retired).
+    pub fn mark_completed(&mut self, token: RobToken) {
+        let idx = self
+            .position(token)
+            .expect("mark_completed on a token that is not in flight");
+        self.entries[idx].completed = true;
+    }
+
+    /// Whether the entry identified by `token` is still in flight.
+    #[must_use]
+    pub fn contains(&self, token: RobToken) -> bool {
+        self.position(token).is_some()
+    }
+
+    /// Read-only access to the payload of an in-flight entry.
+    #[must_use]
+    pub fn payload(&self, token: RobToken) -> Option<&T> {
+        self.position(token).map(|i| &self.entries[i].payload)
+    }
+
+    /// Mutable access to the payload of an in-flight entry.
+    pub fn payload_mut(&mut self, token: RobToken) -> Option<&mut T> {
+        self.position(token)
+            .map(move |i| &mut self.entries[i].payload)
+    }
+
+    /// Retires completed entries from the head, in order, up to `max`
+    /// entries, returning their payloads.
+    pub fn retire(&mut self, max: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.entries.front() {
+                Some(e) if e.completed => {
+                    let e = self.entries.pop_front().expect("front exists");
+                    self.retired += 1;
+                    out.push(e.payload);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Removes every entry (used when squashing a thread); returns the
+    /// payloads youngest-first so rollback can proceed in reverse order.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut v: Vec<T> = self.entries.drain(..).map(|e| e.payload).collect();
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_retire_in_order() {
+        let mut rob: Rob<u32> = Rob::new(4);
+        let a = rob.push(10).unwrap();
+        let b = rob.push(20).unwrap();
+        let c = rob.push(30).unwrap();
+        // Completing out of order does not reorder graduation.
+        rob.mark_completed(c);
+        rob.mark_completed(b);
+        assert_eq!(rob.retire(8), Vec::<u32>::new());
+        rob.mark_completed(a);
+        assert_eq!(rob.retire(8), vec![10, 20, 30]);
+        assert_eq!(rob.retired(), 3);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn retire_respects_max() {
+        let mut rob: Rob<u32> = Rob::new(8);
+        let tokens: Vec<_> = (0..6).map(|i| rob.push(i).unwrap()).collect();
+        for t in &tokens {
+            rob.mark_completed(*t);
+        }
+        assert_eq!(rob.retire(4), vec![0, 1, 2, 3]);
+        assert_eq!(rob.retire(4), vec![4, 5]);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rob: Rob<u32> = Rob::new(2);
+        assert!(rob.push(1).is_some());
+        assert!(rob.push(2).is_some());
+        assert!(rob.is_full());
+        assert!(rob.push(3).is_none());
+        let t = rob.push(3);
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn payload_access() {
+        let mut rob: Rob<String> = Rob::new(2);
+        let t = rob.push("hello".to_string()).unwrap();
+        assert_eq!(rob.payload(t).unwrap(), "hello");
+        rob.payload_mut(t).unwrap().push_str(" world");
+        assert_eq!(rob.payload(t).unwrap(), "hello world");
+    }
+
+    #[test]
+    fn tokens_invalid_after_retirement() {
+        let mut rob: Rob<u32> = Rob::new(2);
+        let t = rob.push(1).unwrap();
+        rob.mark_completed(t);
+        rob.retire(1);
+        assert!(!rob.contains(t));
+        assert_eq!(rob.payload(t), None);
+    }
+
+    #[test]
+    fn drain_all_returns_youngest_first() {
+        let mut rob: Rob<u32> = Rob::new(4);
+        rob.push(1).unwrap();
+        rob.push(2).unwrap();
+        rob.push(3).unwrap();
+        assert_eq!(rob.drain_all(), vec![3, 2, 1]);
+        assert!(rob.is_empty());
+        assert_eq!(rob.retired(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn completing_retired_entry_panics() {
+        let mut rob: Rob<u32> = Rob::new(2);
+        let t = rob.push(1).unwrap();
+        rob.mark_completed(t);
+        rob.retire(1);
+        rob.mark_completed(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: Rob<u32> = Rob::new(0);
+    }
+
+    #[test]
+    fn interleaved_push_retire_preserves_fifo() {
+        let mut rob: Rob<u64> = Rob::new(3);
+        let mut next_expected = 0u64;
+        let mut next_value = 0u64;
+        let mut inflight = Vec::new();
+        for step in 0..100u64 {
+            if !rob.is_full() {
+                let t = rob.push(next_value).unwrap();
+                inflight.push(t);
+                next_value += 1;
+            }
+            if step % 2 == 0 {
+                if let Some(t) = inflight.first().copied() {
+                    rob.mark_completed(t);
+                    inflight.remove(0);
+                }
+            }
+            for v in rob.retire(2) {
+                assert_eq!(v, next_expected);
+                next_expected += 1;
+            }
+        }
+    }
+}

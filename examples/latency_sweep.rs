@@ -1,0 +1,41 @@
+//! Latency sweep: how much of the L2 latency does decoupling hide?
+//!
+//! Runs a single-threaded machine across L2 latencies from 1 to 256 cycles,
+//! with and without decoupling, and prints IPC plus the perceived load-miss
+//! latency — a miniature version of the paper's Figures 1 and 4.
+//!
+//! Run with: `cargo run --release --example latency_sweep`
+
+use dsmt_repro::core::{Processor, SimConfig};
+use dsmt_repro::trace::ThreadWorkload;
+
+fn main() {
+    let latencies = [1u64, 16, 32, 64, 128, 256];
+    let instructions = 300_000;
+
+    println!("{:>8} | {:>12} {:>16} | {:>12} {:>16}", "L2 lat", "dec IPC", "dec perceived", "non IPC", "non perceived");
+    println!("{}", "-".repeat(76));
+
+    for &lat in &latencies {
+        let mut row = Vec::new();
+        for decoupled in [true, false] {
+            let config = SimConfig::paper_multithreaded(1)
+                .with_l2_latency(lat)
+                .with_decoupled(decoupled)
+                .with_queue_scaling(true);
+            let workload = ThreadWorkload::spec_fp95(7).with_insts_per_program(30_000);
+            let results = Processor::with_workload(config, &workload).run(instructions);
+            row.push((results.ipc(), results.perceived.combined()));
+        }
+        println!(
+            "{:>8} | {:>12.2} {:>13.1} cy | {:>12.2} {:>13.1} cy",
+            lat, row[0].0, row[0].1, row[1].0, row[1].1
+        );
+    }
+
+    println!(
+        "\nDecoupling keeps the perceived latency (and therefore the IPC loss) nearly flat \
+         as the L2 latency grows; without the instruction queues the full miss latency is \
+         exposed to the in-order pipeline."
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build the paper's machine, run the multiprogrammed SPEC FP95
+//! workload, and print the headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dsmt_repro::core::{Processor, SimConfig, SlotUse};
+
+fn main() {
+    // The paper's Figure-2 machine with 3 hardware contexts and a 16-cycle L2.
+    let config = SimConfig::paper_multithreaded(3);
+    println!(
+        "simulating {} threads, {}-wide issue ({} AP + {} EP units), L2 = {} cycles",
+        config.num_threads,
+        config.issue_width(),
+        config.ap_units,
+        config.ep_units,
+        config.mem.l2_latency
+    );
+
+    let mut cpu = Processor::with_spec_workload(config, 42);
+    let results = cpu.run(500_000);
+
+    println!();
+    println!("instructions retired : {}", results.instructions);
+    println!("cycles               : {}", results.cycles);
+    println!("IPC                  : {:.2}", results.ipc());
+    println!("branch accuracy      : {:.1}%", results.branch_accuracy * 100.0);
+    println!("L1 load miss ratio   : {:.1}%", results.load_miss_ratio() * 100.0);
+    println!("bus utilisation      : {:.1}%", results.bus_utilization * 100.0);
+    println!(
+        "perceived load miss latency: {:.1} cycles (fp {:.1}, int {:.1})",
+        results.perceived.combined(),
+        results.perceived.fp(),
+        results.perceived.int()
+    );
+
+    println!("\nissue-slot breakdown (fraction of unit slots):");
+    for (name, slots) in [("AP", &results.ap_slots), ("EP", &results.ep_slots)] {
+        print!("  {name}: ");
+        for kind in SlotUse::ALL {
+            print!("{} {:.1}%  ", kind.label(), slots.fraction(kind) * 100.0);
+        }
+        println!();
+    }
+}

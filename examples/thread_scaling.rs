@@ -1,0 +1,42 @@
+//! Thread scaling: how many hardware contexts does the decoupled machine
+//! need to reach its peak throughput?
+//!
+//! A miniature version of the paper's Figure 5: IPC and external bus
+//! utilisation versus the number of hardware threads, for the decoupled and
+//! non-decoupled machines.
+//!
+//! Run with: `cargo run --release --example thread_scaling`
+
+use dsmt_repro::core::{Processor, SimConfig};
+use dsmt_repro::trace::ThreadWorkload;
+
+fn run(threads: usize, decoupled: bool) -> (f64, f64) {
+    let config = SimConfig::paper_multithreaded(threads).with_decoupled(decoupled);
+    let workload = ThreadWorkload::spec_fp95(21).with_insts_per_program(30_000);
+    let results = Processor::with_workload(config, &workload).run(300_000);
+    (results.ipc(), results.bus_utilization)
+}
+
+fn main() {
+    println!(
+        "{:>8} | {:>12} {:>10} | {:>12} {:>10}",
+        "threads", "dec IPC", "dec bus", "non IPC", "non bus"
+    );
+    println!("{}", "-".repeat(62));
+    for threads in 1..=8 {
+        let (dec_ipc, dec_bus) = run(threads, true);
+        let (non_ipc, non_bus) = run(threads, false);
+        println!(
+            "{:>8} | {:>12.2} {:>9.0}% | {:>12.2} {:>9.0}%",
+            threads,
+            dec_ipc,
+            dec_bus * 100.0,
+            non_ipc,
+            non_bus * 100.0
+        );
+    }
+    println!(
+        "\nThe decoupled machine saturates with noticeably fewer threads — fewer contexts \
+         means less cache pressure, less bus traffic, and less replicated hardware."
+    );
+}

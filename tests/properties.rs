@@ -1,0 +1,102 @@
+//! Cross-crate property-based tests: whatever workload and configuration we
+//! throw at the simulator, its accounting invariants must hold.
+
+use dsmt_repro::core::{Processor, SimConfig, SlotUse};
+use dsmt_repro::trace::{BenchmarkProfile, SyntheticTrace, TraceSource};
+use proptest::prelude::*;
+
+fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.05f64..0.3,  // fp loads
+        0.0f64..0.1,   // int loads
+        0.0f64..0.15,  // stores
+        0.2f64..0.45,  // fp ops
+        1usize..7,     // chains
+        0.0f64..0.5,   // lod
+        1usize..12,    // int load use distance
+        0.0f64..0.9,   // stream fraction
+        prop::sample::select(vec![64u64 * 1024, 1024 * 1024, 8 * 1024 * 1024]),
+    )
+        .prop_map(
+            |(fp_load, int_load, store, fp_ops, chains, lod, dist, stream, footprint)| {
+                let mut p = BenchmarkProfile::baseline("prop");
+                p.frac_fp_load = fp_load;
+                p.frac_int_load = int_load;
+                p.frac_store = store;
+                p.frac_fp_ops = fp_ops;
+                p.fp_parallel_chains = chains;
+                p.lod_frac = lod;
+                p.int_load_use_dist = dist;
+                p.stream_frac = stream;
+                p.array_footprint_bytes = footprint;
+                p
+            },
+        )
+        .prop_filter("mix must be valid", |p| p.validate().is_ok())
+}
+
+fn arbitrary_config() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..4,                                     // threads
+        prop::bool::ANY,                               // decoupled
+        prop::sample::select(vec![1u64, 16, 64, 128]), // L2 latency
+        prop::bool::ANY,                               // queue scaling
+    )
+        .prop_map(|(threads, decoupled, lat, scale)| {
+            SimConfig::paper_multithreaded(threads)
+                .with_decoupled(decoupled)
+                .with_l2_latency(lat)
+                .with_queue_scaling(scale)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants that must hold for any workload/configuration:
+    /// slot accounting covers every slot, IPC is bounded by the issue width,
+    /// miss counters are consistent, and the run is deterministic.
+    #[test]
+    fn simulator_invariants_hold(profile in arbitrary_profile(), config in arbitrary_config(), seed in 0u64..100) {
+        let build = || {
+            let traces: Vec<Box<dyn TraceSource>> = (0..config.num_threads)
+                .map(|t| {
+                    Box::new(SyntheticTrace::with_offset(&profile, seed, t as u64 * 0x0400_2000))
+                        as Box<dyn TraceSource>
+                })
+                .collect();
+            Processor::new(config.clone(), traces)
+        };
+        let r = build().run(15_000);
+
+        // Progress and bounds.
+        prop_assert!(r.instructions >= 15_000);
+        prop_assert!(r.cycles > 0);
+        prop_assert!(r.ipc() <= config.issue_width() as f64 + 1e-9);
+
+        // Slot accounting is exhaustive.
+        prop_assert_eq!(r.ap_slots.total(), r.cycles * config.ap_units as u64);
+        prop_assert_eq!(r.ep_slots.total(), r.cycles * config.ep_units as u64);
+        for kind in SlotUse::ALL {
+            prop_assert!(r.ap_slots.fraction(kind) >= 0.0 && r.ap_slots.fraction(kind) <= 1.0);
+        }
+
+        // Useful slots cover at least the retired instructions (instructions
+        // still in flight at the end may have issued too).
+        prop_assert!(r.ap_slots.useful + r.ep_slots.useful >= r.instructions);
+
+        // Memory accounting.
+        let mem_accesses = r.mem.load_accesses() + r.mem.store_accesses();
+        prop_assert!(mem_accesses >= r.mem.load_misses + r.mem.store_misses);
+        prop_assert!((0.0..=1.0).contains(&r.bus_utilization));
+        prop_assert!((0.0..=1.0).contains(&r.load_miss_ratio()));
+        prop_assert!((0.0..=1.0).contains(&r.branch_accuracy));
+
+        // Perceived latency denominators never exceed the observed misses.
+        prop_assert!(r.perceived.fp_load_misses + r.perceived.int_load_misses <= r.mem.load_misses);
+
+        // Determinism: the same configuration and seed reproduce the run.
+        let again = build().run(15_000);
+        prop_assert_eq!(r, again);
+    }
+}
