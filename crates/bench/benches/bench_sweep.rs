@@ -1,0 +1,130 @@
+//! Benchmark: sweep-engine throughput (cells/second), serial vs parallel,
+//! plus cache-hit replay speed. Also emits a `BENCH_sweep.json` perf
+//! snapshot so sweep-engine regressions show up in review diffs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, SweepEngine, SweepGrid, WorkloadSpec};
+use std::time::{Duration, Instant};
+
+/// A Figure-4-shaped grid small enough to iterate in a benchmark loop.
+fn bench_grid() -> SweepGrid {
+    SweepGrid::new(
+        "bench",
+        SimConfig::paper_multithreaded(1).with_queue_scaling(true),
+    )
+    .with_workload(WorkloadSpec::spec_mix(3_000))
+    .with_axis(Axis::threads(&[1, 2]))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_axis(Axis::l2_latencies(&[16, 64, 256]))
+    .with_budget(10_000)
+}
+
+fn cells_per_sec(workers: usize, cached_dir: Option<&std::path::Path>) -> f64 {
+    let grid = bench_grid();
+    let engine = match cached_dir {
+        Some(dir) => SweepEngine::new(workers).with_cache_dir(dir),
+        None => SweepEngine::new(workers).without_cache(),
+    };
+    let start = Instant::now();
+    let report = engine.run(&grid);
+    let secs = start.elapsed().as_secs_f64();
+    report.records.len() as f64 / secs.max(1e-9)
+}
+
+fn write_snapshot() {
+    let parallel_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let serial = cells_per_sec(1, None);
+    let parallel = cells_per_sec(parallel_workers, None);
+
+    let cache_dir = std::env::temp_dir().join(format!("dsmt-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = cells_per_sec(parallel_workers, Some(&cache_dir)); // warm the cache
+    let replay = cells_per_sec(parallel_workers, Some(&cache_dir));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let snapshot = serde::Value::Object(vec![
+        ("bench".to_string(), serde::Value::Str("sweep".to_string())),
+        (
+            "grid_cells".to_string(),
+            serde::Value::U64(bench_grid().len() as u64),
+        ),
+        (
+            "budget_insts_per_cell".to_string(),
+            serde::Value::U64(bench_grid().budget),
+        ),
+        (
+            "workers_parallel".to_string(),
+            serde::Value::U64(parallel_workers as u64),
+        ),
+        (
+            "cells_per_sec_serial".to_string(),
+            serde::Value::F64(serial),
+        ),
+        (
+            "cells_per_sec_parallel".to_string(),
+            serde::Value::F64(parallel),
+        ),
+        (
+            "cells_per_sec_cached_replay".to_string(),
+            serde::Value::F64(replay),
+        ),
+        (
+            "parallel_speedup".to_string(),
+            serde::Value::F64(parallel / serial.max(1e-9)),
+        ),
+    ]);
+    let text = serde::to_string_pretty(&snapshot);
+    // Anchor the snapshot at the workspace root regardless of bench cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("warn: cannot write {}: {e}", path.display());
+    }
+    println!("BENCH_sweep.json:\n{text}");
+    // Sanity: parallel must not be (much) slower than serial.
+    assert!(
+        parallel > 0.5 * serial,
+        "parallel sweep slower than serial: {parallel:.1} vs {serial:.1} cells/s"
+    );
+    // Replay from cache skips simulation entirely and must dominate.
+    assert!(
+        replay > parallel,
+        "cached replay not faster than simulation: {replay:.1} vs {parallel:.1} cells/s"
+    );
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cells = bench_grid().len() as u64;
+    let mut group = c.benchmark_group("sweep_engine");
+    group
+        .sample_size(5)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(cells));
+    group.bench_function("grid_12cells_serial", |b| {
+        b.iter(|| {
+            SweepEngine::new(1)
+                .without_cache()
+                .run(&bench_grid())
+                .records
+                .len()
+        });
+    });
+    group.bench_function("grid_12cells_parallel", |b| {
+        b.iter(|| {
+            SweepEngine::from_env()
+                .without_cache()
+                .run(&bench_grid())
+                .records
+                .len()
+        });
+    });
+    group.finish();
+
+    write_snapshot();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -515,7 +515,6 @@ impl Processor {
                             mem: inst.mem.expect("store without address"),
                             executed: false,
                         })
-                        .ok()
                         .expect("SAQ fullness was checked");
                 }
 
@@ -531,7 +530,6 @@ impl Processor {
                 thread
                     .window_mut(unit)
                     .push(inflight)
-                    .ok()
                     .expect("window fullness was checked");
                 thread.fetch_buffer.pop_front();
                 dispatched += 1;
@@ -799,7 +797,10 @@ mod tests {
         let mut cpu = Processor::new(single_thread_config(), boxed(VecTrace::new("st-ld", insts)));
         let r = cpu.run(100);
         assert_eq!(r.instructions, 2);
-        assert!(r.ap_slots.other > 0, "the blocked load must show as 'other'");
+        assert!(
+            r.ap_slots.other > 0,
+            "the blocked load must show as 'other'"
+        );
     }
 
     #[test]
@@ -884,7 +885,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "one trace per hardware thread")]
     fn wrong_trace_count_panics() {
-        let _ = Processor::new(SimConfig::paper_multithreaded(2), boxed(VecTrace::new("x", vec![])));
+        let _ = Processor::new(
+            SimConfig::paper_multithreaded(2),
+            boxed(VecTrace::new("x", vec![])),
+        );
     }
 
     #[test]

@@ -278,8 +278,7 @@ mod tests {
 
     #[test]
     fn slot_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            SlotUse::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<_> = SlotUse::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), SlotUse::ALL.len());
     }
 

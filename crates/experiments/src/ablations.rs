@@ -11,10 +11,11 @@
 //!   conflicts are part of why miss ratios grow with the thread count.
 
 use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, Setting, SweepGrid, SweepReport};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f, fmt_pct};
-use crate::{parallel_map, ExperimentParams, Table};
+use crate::{ExperimentParams, Table};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,76 +48,96 @@ pub const UNIT_SPLITS: [(usize, usize); 3] = [(4, 4), (5, 3), (3, 5)];
 /// L1 associativities swept.
 pub const L1_ASSOCIATIVITIES: [usize; 3] = [1, 2, 4];
 
-/// Runs every ablation. All studies use the Figure-2 machine with 4 threads
-/// and a 64-cycle L2 (a point where both latency tolerance and bandwidth
-/// matter).
+/// The ablation grids, one per study. All studies use the Figure-2 machine
+/// with 4 threads and a 64-cycle L2 (a point where both latency tolerance
+/// and bandwidth matter).
 #[must_use]
-pub fn run(params: &ExperimentParams) -> AblationResults {
-    let base = || {
-        SimConfig::paper_multithreaded(4)
-            .with_l2_latency(64)
+pub fn grids(params: &ExperimentParams) -> Vec<SweepGrid> {
+    let base = SimConfig::paper_multithreaded(4).with_l2_latency(64);
+    let study = |name: &str, axis: Axis| {
+        SweepGrid::new(name, base.clone())
+            .with_workload(params.spec_mix())
+            .with_axis(axis)
+            .with_seed(params.seed)
+            .with_budget(params.instructions_per_point)
     };
+    vec![
+        study("ablation-iq-depth", Axis::iq_capacities(&IQ_DEPTHS)),
+        study("ablation-mshr", Axis::mshr_counts(&MSHR_COUNTS)),
+        study("ablation-unit-split", Axis::unit_splits(&UNIT_SPLITS)),
+        study(
+            "ablation-l1-assoc",
+            Axis::l1_associativities(&L1_ASSOCIATIVITIES),
+        ),
+    ]
+}
 
-    #[derive(Clone)]
-    enum Job {
-        Iq(usize),
-        Mshr(usize),
-        Split(usize, usize),
-        Assoc(usize),
+/// Human-readable (study, setting) labels for one swept setting.
+fn describe(setting: &Setting) -> (String, String) {
+    match *setting {
+        Setting::IqCapacity(depth) => (
+            "instruction-queue depth".to_string(),
+            format!("{depth} entries"),
+        ),
+        Setting::Mshrs(count) => ("MSHR count".to_string(), format!("{count} MSHRs")),
+        Setting::UnitSplit { ap, ep } => (
+            "issue-width asymmetry".to_string(),
+            format!("{ap} AP + {ep} EP units"),
+        ),
+        Setting::L1Associativity(assoc) => ("L1 associativity".to_string(), format!("{assoc}-way")),
+        ref other => (other.axis_name().to_string(), other.value_label()),
     }
+}
 
-    let mut jobs = Vec::new();
-    jobs.extend(IQ_DEPTHS.iter().map(|&d| Job::Iq(d)));
-    jobs.extend(MSHR_COUNTS.iter().map(|&m| Job::Mshr(m)));
-    jobs.extend(UNIT_SPLITS.iter().map(|&(a, e)| Job::Split(a, e)));
-    jobs.extend(L1_ASSOCIATIVITIES.iter().map(|&a| Job::Assoc(a)));
+/// Ablation results plus the merged sweep report they were distilled from.
+#[derive(Debug, Clone)]
+pub struct AblationSweep {
+    /// Raw sweep records (all studies merged) and cache telemetry.
+    pub report: SweepReport,
+    /// The distilled study data.
+    pub results: AblationResults,
+}
 
-    let points = parallel_map(jobs, params.workers, |job| {
-        let (study, setting, cfg) = match job {
-            Job::Iq(depth) => {
-                let mut cfg = base();
-                cfg.iq_capacity = *depth;
-                (
-                    "instruction-queue depth".to_string(),
-                    format!("{depth} entries"),
-                    cfg,
-                )
-            }
-            Job::Mshr(count) => {
-                let mut cfg = base();
-                cfg.mem.l1d.mshrs = *count;
-                ("MSHR count".to_string(), format!("{count} MSHRs"), cfg)
-            }
-            Job::Split(ap, ep) => {
-                let mut cfg = base();
-                cfg.ap_units = *ap;
-                cfg.ep_units = *ep;
-                (
-                    "issue-width asymmetry".to_string(),
-                    format!("{ap} AP + {ep} EP units"),
-                    cfg,
-                )
-            }
-            Job::Assoc(assoc) => {
-                let mut cfg = base();
-                cfg.mem.l1d.associativity = *assoc;
-                (
-                    "L1 associativity".to_string(),
-                    format!("{assoc}-way"),
-                    cfg,
-                )
-            }
-        };
-        let r = crate::runner::run_spec(cfg, params);
-        AblationPoint {
+/// Runs every ablation grid through the engine, keeping the merged report.
+#[must_use]
+pub fn sweep(params: &ExperimentParams) -> AblationSweep {
+    let grids = grids(params);
+    // One (study, setting) pair per cell, in grid order, for relabelling.
+    // Each study grid is one workload x one axis, so its cells are exactly
+    // its axis settings in order.
+    let descriptions: Vec<(String, String)> = grids
+        .iter()
+        .flat_map(|grid| {
+            debug_assert!(grid.workloads.len() == 1 && grid.axes.len() == 1);
+            grid.axes[0].settings.iter().map(describe)
+        })
+        .collect();
+    // One shared worker pool across all four studies (13 cells interleave
+    // instead of running as four small sequential sweeps).
+    let reports = params.engine().run_many(&grids);
+    let report = SweepReport::merged("ablations", reports);
+    let points = report
+        .records
+        .iter()
+        .zip(descriptions)
+        .map(|(rec, (study, setting))| AblationPoint {
             study,
             setting,
-            ipc: r.ipc(),
-            perceived: r.perceived.combined(),
-            bus_utilization: r.bus_utilization,
-        }
-    });
-    AblationResults { points }
+            ipc: rec.results.ipc(),
+            perceived: rec.results.perceived.combined(),
+            bus_utilization: rec.results.bus_utilization,
+        })
+        .collect();
+    AblationSweep {
+        report,
+        results: AblationResults { points },
+    }
+}
+
+/// Runs every ablation.
+#[must_use]
+pub fn run(params: &ExperimentParams) -> AblationResults {
+    sweep(params).results
 }
 
 impl AblationResults {

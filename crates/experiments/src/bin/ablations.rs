@@ -3,6 +3,8 @@
 //! associativity.
 //!
 //! Usage: `cargo run --release -p dsmt-experiments --bin ablations`
+//! Set `DSMT_INSTS` to change the number of instructions per data point and
+//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache.
 
 use dsmt_experiments::{ablations, ExperimentParams};
 
@@ -12,10 +14,16 @@ fn main() {
         "running ablations ({} instructions/point, {} workers)...",
         params.instructions_per_point, params.workers
     );
-    let results = ablations::run(&params);
-    println!("{}", results.to_markdown());
+    let sweep = ablations::sweep(&params);
+    println!("{}", sweep.results.to_markdown());
     println!("### Shape checks\n");
-    for (claim, ok) in results.shape_checks() {
+    for (claim, ok) in sweep.results.shape_checks() {
         println!("- [{}] {claim}", if ok { "x" } else { " " });
     }
+    eprintln!(
+        "{} cells ({} cached, {} simulated)",
+        sweep.report.records.len(),
+        sweep.report.cache_hits,
+        sweep.report.cache_misses
+    );
 }

@@ -12,11 +12,12 @@
 //! * **Figure 1-d** — % IPC loss relative to the 1-cycle-latency machine.
 
 use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, SweepGrid, SweepReport, WorkloadSpec};
 use dsmt_trace::spec_fp95_profiles;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f, fmt_pct};
-use crate::{parallel_map, ExperimentParams, Table, L2_LATENCIES};
+use crate::{ExperimentParams, Table, L2_LATENCIES};
 
 /// One (benchmark, L2 latency) data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,31 +51,61 @@ pub fn fig1_config(l2_latency: u64) -> SimConfig {
     SimConfig::paper_single_thread_4wide().with_l2_latency(l2_latency)
 }
 
+/// The Figure 1 sweep as a declarative grid: every SPEC FP95 profile at
+/// every L2 latency on the Section 2 machine.
+#[must_use]
+pub fn grid(params: &ExperimentParams) -> SweepGrid {
+    SweepGrid::new("fig1", SimConfig::paper_single_thread_4wide())
+        .with_workloads(
+            spec_fp95_profiles()
+                .iter()
+                .map(|p| WorkloadSpec::benchmark(&p.name)),
+        )
+        .with_axis(Axis::l2_latencies(&L2_LATENCIES))
+        .with_seed(params.seed)
+        .with_budget(params.instructions_per_point)
+}
+
+/// Figure 1 results plus the sweep report they were distilled from.
+#[derive(Debug, Clone)]
+pub struct Fig1Sweep {
+    /// Raw sweep records and cache telemetry.
+    pub report: SweepReport,
+    /// The distilled figure data.
+    pub results: Fig1Results,
+}
+
+/// Runs the Figure 1 sweep through the engine, keeping the raw report.
+#[must_use]
+pub fn sweep(params: &ExperimentParams) -> Fig1Sweep {
+    let report = params.engine().run(&grid(params));
+    let points = report
+        .records
+        .iter()
+        .map(|rec| {
+            let r = &rec.results;
+            Fig1Point {
+                benchmark: rec.workload.clone(),
+                l2_latency: rec.scenario.config.mem.l2_latency,
+                perceived_fp: r.perceived.fp(),
+                perceived_int: r.perceived.int(),
+                ipc: r.ipc(),
+                load_miss_ratio: r.load_miss_ratio(),
+                store_miss_ratio: r.store_miss_ratio(),
+            }
+        })
+        .collect();
+    Fig1Sweep {
+        report,
+        results: Fig1Results { points },
+    }
+}
+
 /// Runs the full Figure 1 sweep: every SPEC FP95 profile at every L2
 /// latency.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Fig1Results {
-    let profiles = spec_fp95_profiles();
-    let mut jobs = Vec::new();
-    for profile in &profiles {
-        for &lat in &L2_LATENCIES {
-            jobs.push((profile.clone(), lat));
-        }
-    }
-    let points = parallel_map(jobs, params.workers, |(profile, lat)| {
-        let cfg = fig1_config(*lat);
-        let r = crate::runner::run_single_benchmark(cfg, profile, params);
-        Fig1Point {
-            benchmark: profile.name.clone(),
-            l2_latency: *lat,
-            perceived_fp: r.perceived.fp(),
-            perceived_int: r.perceived.int(),
-            ipc: r.ipc(),
-            load_miss_ratio: r.load_miss_ratio(),
-            store_miss_ratio: r.store_miss_ratio(),
-        }
-    });
-    Fig1Results { points }
+    sweep(params).results
 }
 
 impl Fig1Results {
@@ -136,9 +167,10 @@ impl Fig1Results {
     /// Figure 1-a: average perceived FP-load miss latency (cycles).
     #[must_use]
     pub fn table_fig1a(&self) -> Table {
-        self.latency_table("Figure 1-a: avg perceived FP-load miss latency (cycles)", |p| {
-            fmt_f(p.perceived_fp, 1)
-        })
+        self.latency_table(
+            "Figure 1-a: avg perceived FP-load miss latency (cycles)",
+            |p| fmt_f(p.perceived_fp, 1),
+        )
     }
 
     /// Figure 1-b: average perceived integer-load miss latency (cycles).
@@ -219,8 +251,7 @@ impl Fig1Results {
                     .unwrap_or(false)
             });
         checks.push((
-            "tomcatv/swim/mgrid/applu/apsi hide >75% of FP-load miss latency at L2=256"
-                .to_string(),
+            "tomcatv/swim/mgrid/applu/apsi hide >75% of FP-load miss latency at L2=256".to_string(),
             hidden_ok,
         ));
         // Claim 3: programs with poorly scheduled integer loads perceive

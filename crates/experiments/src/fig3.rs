@@ -8,10 +8,11 @@
 //! unit, wrong-path/idle, and other.
 
 use dsmt_core::{SimConfig, SlotUse, UnitSlots};
+use dsmt_sweep::{Axis, SweepGrid, SweepReport};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f, fmt_pct};
-use crate::{parallel_map, ExperimentParams, Table};
+use crate::{ExperimentParams, Table};
 
 /// Thread counts evaluated (the paper's x-axis runs from 1 to 6).
 pub const THREAD_COUNTS: [usize; 6] = [1, 2, 3, 4, 5, 6];
@@ -42,19 +43,50 @@ pub fn fig3_config(threads: usize) -> SimConfig {
     SimConfig::paper_multithreaded(threads)
 }
 
+/// The Figure 3 sweep as a declarative grid: the Figure-2 machine over
+/// 1–6 hardware contexts on the multiprogrammed SPEC FP95 workload.
+#[must_use]
+pub fn grid(params: &ExperimentParams) -> SweepGrid {
+    SweepGrid::new("fig3", SimConfig::paper_multithreaded(1))
+        .with_workload(params.spec_mix())
+        .with_axis(Axis::threads(&THREAD_COUNTS))
+        .with_seed(params.seed)
+        .with_budget(params.instructions_per_point)
+}
+
+/// Figure 3 results plus the sweep report they were distilled from.
+#[derive(Debug, Clone)]
+pub struct Fig3Sweep {
+    /// Raw sweep records and cache telemetry.
+    pub report: SweepReport,
+    /// The distilled figure data.
+    pub results: Fig3Results,
+}
+
+/// Runs the Figure 3 sweep through the engine, keeping the raw report.
+#[must_use]
+pub fn sweep(params: &ExperimentParams) -> Fig3Sweep {
+    let report = params.engine().run(&grid(params));
+    let rows = report
+        .records
+        .iter()
+        .map(|rec| Fig3Row {
+            threads: rec.scenario.config.num_threads,
+            ipc: rec.results.ipc(),
+            ap: rec.results.ap_slots,
+            ep: rec.results.ep_slots,
+        })
+        .collect();
+    Fig3Sweep {
+        report,
+        results: Fig3Results { rows },
+    }
+}
+
 /// Runs the Figure 3 sweep.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Fig3Results {
-    let rows = parallel_map(THREAD_COUNTS.to_vec(), params.workers, |&threads| {
-        let r = crate::runner::run_spec(fig3_config(threads), params);
-        Fig3Row {
-            threads,
-            ipc: r.ipc(),
-            ap: r.ap_slots,
-            ep: r.ep_slots,
-        }
-    });
-    Fig3Results { rows }
+    sweep(params).results
 }
 
 impl Fig3Results {
@@ -99,8 +131,8 @@ impl Fig3Results {
             // Claim 1: with one thread, the dominant EP waste is waiting for
             // operands from functional units.
             let ep_waste_fu = one.ep.fraction(SlotUse::WaitFu);
-            let other_waste = one.ep.fraction(SlotUse::WaitMemory)
-                + one.ep.fraction(SlotUse::Other);
+            let other_waste =
+                one.ep.fraction(SlotUse::WaitMemory) + one.ep.fraction(SlotUse::Other);
             checks.push((
                 "1 thread: EP slots are mostly lost waiting on FU results".to_string(),
                 ep_waste_fu > other_waste && ep_waste_fu > 0.3,

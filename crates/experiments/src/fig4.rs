@@ -13,10 +13,11 @@
 //! instruction queues regardless of that scaling.
 
 use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, SweepGrid, SweepReport};
 use serde::{Deserialize, Serialize};
 
 use crate::report::fmt_f;
-use crate::{parallel_map, ExperimentParams, Table, L2_LATENCIES};
+use crate::{ExperimentParams, Table, L2_LATENCIES};
 
 /// Thread counts evaluated (1 to 4, as in the paper).
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 4];
@@ -52,28 +53,56 @@ pub fn fig4_config(threads: usize, decoupled: bool, l2_latency: u64) -> SimConfi
         .with_queue_scaling(true)
 }
 
+/// The Figure 4 sweep as a declarative grid: (1–4 threads) × (decoupled
+/// on/off) × (six L2 latencies), queues scaled with latency.
+#[must_use]
+pub fn grid(params: &ExperimentParams) -> SweepGrid {
+    SweepGrid::new(
+        "fig4",
+        SimConfig::paper_multithreaded(1).with_queue_scaling(true),
+    )
+    .with_workload(params.spec_mix())
+    .with_axis(Axis::threads(&THREAD_COUNTS))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_axis(Axis::l2_latencies(&L2_LATENCIES))
+    .with_seed(params.seed)
+    .with_budget(params.instructions_per_point)
+}
+
+/// Figure 4 results plus the sweep report they were distilled from.
+#[derive(Debug, Clone)]
+pub struct Fig4Sweep {
+    /// Raw sweep records and cache telemetry.
+    pub report: SweepReport,
+    /// The distilled figure data.
+    pub results: Fig4Results,
+}
+
+/// Runs the Figure 4 sweep through the engine, keeping the raw report.
+#[must_use]
+pub fn sweep(params: &ExperimentParams) -> Fig4Sweep {
+    let report = params.engine().run(&grid(params));
+    let points = report
+        .records
+        .iter()
+        .map(|rec| Fig4Point {
+            threads: rec.scenario.config.num_threads,
+            decoupled: rec.scenario.config.decoupled,
+            l2_latency: rec.scenario.config.mem.l2_latency,
+            perceived: rec.results.perceived.combined(),
+            ipc: rec.results.ipc(),
+        })
+        .collect();
+    Fig4Sweep {
+        report,
+        results: Fig4Results { points },
+    }
+}
+
 /// Runs the full Figure 4 sweep (8 configurations × 6 latencies).
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Fig4Results {
-    let mut jobs = Vec::new();
-    for &threads in &THREAD_COUNTS {
-        for decoupled in [true, false] {
-            for &lat in &L2_LATENCIES {
-                jobs.push((threads, decoupled, lat));
-            }
-        }
-    }
-    let points = parallel_map(jobs, params.workers, |&(threads, decoupled, lat)| {
-        let r = crate::runner::run_spec(fig4_config(threads, decoupled, lat), params);
-        Fig4Point {
-            threads,
-            decoupled,
-            l2_latency: lat,
-            perceived: r.perceived.combined(),
-            ipc: r.ipc(),
-        }
-    });
-    Fig4Results { points }
+    sweep(params).results
 }
 
 impl Fig4Results {
@@ -107,7 +136,11 @@ impl Fig4Results {
     fn config_label(threads: usize, decoupled: bool) -> String {
         format!(
             "{threads}T {}",
-            if decoupled { "decoupled" } else { "non-decoupled" }
+            if decoupled {
+                "decoupled"
+            } else {
+                "non-decoupled"
+            }
         )
     }
 

@@ -13,10 +13,11 @@
 //!   threads, 98% at 16).
 
 use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, SweepGrid, SweepReport};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{fmt_f, fmt_pct};
-use crate::{parallel_map, ExperimentParams, Table};
+use crate::{ExperimentParams, Table};
 
 /// One configuration's result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,32 +63,69 @@ pub fn fig5_config(threads: usize, decoupled: bool, l2_latency: u64) -> SimConfi
         .with_queue_scaling(true)
 }
 
+/// The Figure 5 sweep for one L2 latency: thread count × decoupling.
+#[must_use]
+pub fn grid_at_latency(params: &ExperimentParams, l2_latency: u64, threads: &[usize]) -> SweepGrid {
+    SweepGrid::new(
+        format!("fig5-l2-{l2_latency}"),
+        SimConfig::paper_multithreaded(1)
+            .with_l2_latency(l2_latency)
+            .with_queue_scaling(true),
+    )
+    .with_workload(params.spec_mix())
+    .with_axis(Axis::threads(threads))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_seed(params.seed)
+    .with_budget(params.instructions_per_point)
+}
+
+/// The two Figure 5 grids (L2 = 16 and L2 = 64), in run order.
+#[must_use]
+pub fn grids(params: &ExperimentParams) -> Vec<SweepGrid> {
+    vec![
+        grid_at_latency(params, 16, &THREADS_L2_16),
+        grid_at_latency(params, 64, &THREADS_L2_64),
+    ]
+}
+
+/// Figure 5 results plus the merged sweep report they were distilled from.
+#[derive(Debug, Clone)]
+pub struct Fig5Sweep {
+    /// Raw sweep records (both grids merged) and cache telemetry.
+    pub report: SweepReport,
+    /// The distilled figure data.
+    pub results: Fig5Results,
+}
+
+/// Runs both Figure 5 grids through the engine, keeping the merged report.
+#[must_use]
+pub fn sweep(params: &ExperimentParams) -> Fig5Sweep {
+    // One shared worker pool across both grids: cells interleave, so the
+    // small L2=16 grid does not serialize behind the L2=64 one.
+    let reports = params.engine().run_many(&grids(params));
+    let report = SweepReport::merged("fig5", reports);
+    let points = report
+        .records
+        .iter()
+        .map(|rec| Fig5Point {
+            l2_latency: rec.scenario.config.mem.l2_latency,
+            threads: rec.scenario.config.num_threads,
+            decoupled: rec.scenario.config.decoupled,
+            ipc: rec.results.ipc(),
+            bus_utilization: rec.results.bus_utilization,
+            load_miss_ratio: rec.results.load_miss_ratio(),
+        })
+        .collect();
+    Fig5Sweep {
+        report,
+        results: Fig5Results { points },
+    }
+}
+
 /// Runs the full Figure 5 sweep.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Fig5Results {
-    let mut jobs = Vec::new();
-    for &threads in &THREADS_L2_16 {
-        for decoupled in [true, false] {
-            jobs.push((16u64, threads, decoupled));
-        }
-    }
-    for &threads in &THREADS_L2_64 {
-        for decoupled in [true, false] {
-            jobs.push((64u64, threads, decoupled));
-        }
-    }
-    let points = parallel_map(jobs, params.workers, |&(lat, threads, decoupled)| {
-        let r = crate::runner::run_spec(fig5_config(threads, decoupled, lat), params);
-        Fig5Point {
-            l2_latency: lat,
-            threads,
-            decoupled,
-            ipc: r.ipc(),
-            bus_utilization: r.bus_utilization,
-            load_miss_ratio: r.load_miss_ratio(),
-        }
-    });
-    Fig5Results { points }
+    sweep(params).results
 }
 
 impl Fig5Results {

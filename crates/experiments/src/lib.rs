@@ -17,14 +17,20 @@
 //! * [`ablations`] — studies beyond the paper: instruction-queue depth,
 //!   MSHR count, issue-width asymmetry and L1 associativity.
 //!
-//! Each module exposes a `run(&ExperimentParams)` function returning a
-//! structured result, plus formatting helpers that print the same rows or
-//! series the paper reports. The binaries (`fig1`, `fig3`, `fig4`, `fig5`,
-//! `ablations`, `all_experiments`) wrap those functions.
+//! Each module exposes its sweep as a declarative [`dsmt_sweep::SweepGrid`]
+//! (`grid`/`grids`), a `sweep(&ExperimentParams)` function returning the
+//! distilled figure data *plus* the raw [`dsmt_sweep::SweepReport`] (for
+//! JSON/CSV export and cache telemetry), and a `run(&ExperimentParams)`
+//! convenience returning just the figure data. The binaries (`fig1`,
+//! `fig3`, `fig4`, `fig5`, `ablations`, `all_experiments`) wrap those
+//! functions.
 //!
-//! Runs are parallelised across configurations with crossbeam scoped
-//! threads; each individual simulation stays single-threaded and
-//! deterministic.
+//! Sweeps execute on the `dsmt-sweep` work-stealing engine: cells run in
+//! parallel with deterministic per-cell seeding (results are bit-identical
+//! at any worker count) and an on-disk result cache keyed by
+//! (config, workload, seed, budget) — re-running a figure only simulates
+//! cells whose parameters changed. Each individual simulation stays
+//! single-threaded and deterministic.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -37,6 +43,9 @@ pub mod fig5;
 pub mod report;
 pub mod runner;
 
+pub use dsmt_sweep::{
+    Axis, RunRecord, Scenario, Setting, SweepEngine, SweepGrid, SweepReport, WorkloadSpec,
+};
 pub use report::Table;
 pub use runner::{parallel_map, ExperimentParams};
 

@@ -1,5 +1,7 @@
 //! Plain-text table formatting (markdown and CSV) for experiment reports.
 
+use dsmt_sweep::SweepReport;
+
 /// A simple column-oriented table that renders to markdown or CSV.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table {
@@ -78,6 +80,38 @@ impl Table {
         out
     }
 
+    /// Builds a generic per-cell table straight from a sweep report:
+    /// `workload | <axes...> | IPC | perceived | bus util | load miss`.
+    ///
+    /// Figure modules distil bespoke tables; this is the uniform view for
+    /// ad-hoc grids (see `examples/sweep_custom.rs`).
+    #[must_use]
+    pub fn from_report(report: &SweepReport) -> Table {
+        let axes = report.axis_names();
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(axes.iter().cloned());
+        headers.extend(
+            ["IPC", "perceived", "bus util", "load miss"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        );
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(format!("Sweep: {}", report.grid), &headers_ref);
+        for record in &report.records {
+            let mut row = vec![record.workload.clone()];
+            for axis in &axes {
+                row.push(record.label(axis).unwrap_or("-").to_string());
+            }
+            let r = &record.results;
+            row.push(fmt_f(r.ipc(), 2));
+            row.push(fmt_f(r.perceived.combined(), 1));
+            row.push(fmt_pct(r.bus_utilization));
+            row.push(fmt_pct(r.load_miss_ratio()));
+            table.add_row(row);
+        }
+        table
+    }
+
     /// Renders the table as CSV (title omitted).
     #[must_use]
     pub fn to_csv(&self) -> String {
@@ -137,7 +171,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_pct(0.123), "12.3%");
     }
 }

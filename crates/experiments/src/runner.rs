@@ -1,9 +1,12 @@
-//! Shared experiment infrastructure: parameters, single runs, and parallel
-//! sweeps over configurations.
+//! Shared experiment infrastructure: parameters and single runs.
+//!
+//! All sweep mechanics (parallel scheduling, caching, export) live in
+//! [`dsmt_sweep`]; this module only holds the experiment-wide parameters and
+//! thin wrappers that express single runs as [`Scenario`]s so every
+//! simulation — swept or not — goes down one code path.
 
-use dsmt_core::{Processor, SimConfig, SimResults};
-use dsmt_trace::{SyntheticTrace, ThreadWorkload, TraceSource};
-use parking_lot::Mutex;
+use dsmt_core::{SimConfig, SimResults};
+use dsmt_sweep::{Scenario, SweepEngine, WorkloadSpec};
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,10 +63,17 @@ impl ExperimentParams {
     }
 
     /// The multithreaded SPEC FP95 workload used by the Section 3
-    /// experiments.
+    /// experiments, as a sweep [`WorkloadSpec`].
     #[must_use]
-    pub fn spec_workload(&self) -> ThreadWorkload {
-        ThreadWorkload::spec_fp95(self.seed).with_insts_per_program(self.insts_per_program)
+    pub fn spec_mix(&self) -> WorkloadSpec {
+        WorkloadSpec::spec_mix(self.insts_per_program)
+    }
+
+    /// A sweep engine sized by these parameters (cache policy comes from
+    /// `DSMT_SWEEP_CACHE`, see [`dsmt_sweep::CacheMode::from_env`]).
+    #[must_use]
+    pub fn engine(&self) -> SweepEngine {
+        SweepEngine::new(self.workers)
     }
 }
 
@@ -77,62 +87,43 @@ impl Default for ExperimentParams {
 /// `config`.
 #[must_use]
 pub fn run_spec(config: SimConfig, params: &ExperimentParams) -> SimResults {
-    let workload = params.spec_workload();
-    Processor::with_workload(config, &workload).run(params.instructions_per_point)
+    Scenario {
+        config,
+        workload: params.spec_mix(),
+        seed: params.seed,
+        budget: params.instructions_per_point,
+    }
+    .execute()
 }
 
-/// Runs one single-benchmark, single-threaded simulation (Section 2 style).
+/// Runs one single-benchmark simulation (Section 2 style).
 #[must_use]
 pub fn run_single_benchmark(
     config: SimConfig,
     profile: &dsmt_trace::BenchmarkProfile,
     params: &ExperimentParams,
 ) -> SimResults {
-    let trace = SyntheticTrace::new(profile, params.seed);
-    let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(trace)];
-    Processor::new(config, traces).run(params.instructions_per_point)
+    Scenario {
+        config,
+        workload: WorkloadSpec::Profile {
+            profile: profile.clone(),
+        },
+        seed: params.seed,
+        budget: params.instructions_per_point,
+    }
+    .execute()
 }
 
 /// Applies `f` to every item of `inputs`, running up to `workers` items
-/// concurrently, and returns the outputs in input order.
+/// concurrently on the sweep crate's work-stealing pool, and returns the
+/// outputs in input order.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, n);
-    let next = Mutex::new(0usize);
-    let outputs: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    let inputs_ref = &inputs;
-    let f_ref = &f;
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    if *guard >= n {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let out = f_ref(&inputs_ref[idx]);
-                outputs.lock()[idx] = Some(out);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    outputs
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every input produces an output"))
-        .collect()
+    dsmt_sweep::pool::parallel_map(inputs, workers, f)
 }
 
 #[cfg(test)]
@@ -190,5 +181,17 @@ mod tests {
         let r = run_single_benchmark(cfg, &profile, &params);
         assert!(r.instructions >= 15_000);
         assert!(r.ipc() > 0.2 && r.ipc() < 4.0);
+    }
+
+    #[test]
+    fn spec_mix_and_engine_reflect_params() {
+        let params = ExperimentParams {
+            instructions_per_point: 1_000,
+            insts_per_program: 123,
+            seed: 5,
+            workers: 3,
+        };
+        assert_eq!(params.spec_mix(), WorkloadSpec::spec_mix(123));
+        assert_eq!(params.engine().workers, 3);
     }
 }

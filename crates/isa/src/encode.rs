@@ -205,7 +205,7 @@ mod tests {
             Instruction::new(0x1004, OpClass::LoadFp)
                 .with_dest(ArchReg::fp(4))
                 .with_src1(ArchReg::int(9))
-                .with_mem(0xdead_beef_0, 8),
+                .with_mem(0x000d_eadb_eef0, 8),
             Instruction::new(0x1008, OpClass::StoreFp)
                 .with_src1(ArchReg::fp(4))
                 .with_src2(ArchReg::int(9))
@@ -313,22 +313,20 @@ mod proptests {
             prop::bool::ANY,
             prop::num::u64::ANY,
         )
-            .prop_map(
-                |(pc, tag, dest, src1, src2, addr, size, taken, target)| {
-                    let op = OpClass::from_tag(tag).unwrap();
-                    let mut inst = Instruction::new(pc, op);
-                    inst.dest = dest;
-                    inst.src1 = src1;
-                    inst.src2 = src2;
-                    if op.is_mem() {
-                        inst = inst.with_mem(addr, size);
-                    }
-                    if op.is_control() {
-                        inst = inst.with_branch(BranchInfo::new(taken, target));
-                    }
-                    inst
-                },
-            )
+            .prop_map(|(pc, tag, dest, src1, src2, addr, size, taken, target)| {
+                let op = OpClass::from_tag(tag).unwrap();
+                let mut inst = Instruction::new(pc, op);
+                inst.dest = dest;
+                inst.src1 = src1;
+                inst.src2 = src2;
+                if op.is_mem() {
+                    inst = inst.with_mem(addr, size);
+                }
+                if op.is_control() {
+                    inst = inst.with_branch(BranchInfo::new(taken, target));
+                }
+                inst
+            })
     }
 
     proptest! {
@@ -343,6 +341,19 @@ mod proptests {
         fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
             // May error, must not panic.
             let _ = decode_stream(&bytes);
+        }
+
+        #[test]
+        fn encoded_records_stay_within_documented_bounds(insts in prop::collection::vec(arb_instruction(), 1..64)) {
+            // The module docs promise 10..=27 bytes per record (2-byte
+            // header + 8-byte pc + up to 3 register bytes + 9-byte memory
+            // reference + 8-byte branch target).
+            let bytes = encode_stream(&insts);
+            prop_assert!(bytes.len() >= insts.len() * 10);
+            prop_assert!(bytes.len() <= insts.len() * 27);
+            // And decoding consumes every byte exactly.
+            let decoded = decode_stream(&bytes).unwrap();
+            prop_assert_eq!(decoded.len(), insts.len());
         }
     }
 }

@@ -45,7 +45,7 @@ mod op;
 mod reg;
 mod steer;
 
-pub use encode::{decode_instruction, encode_instruction, decode_stream, encode_stream};
+pub use encode::{decode_instruction, decode_stream, encode_instruction, encode_stream};
 pub use error::InstructionError;
 pub use inst::{BranchInfo, Instruction, MemRef};
 pub use op::OpClass;

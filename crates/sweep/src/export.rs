@@ -1,0 +1,179 @@
+//! JSON and CSV export of sweep reports.
+//!
+//! JSON carries the full records (scenario provenance included) for
+//! programmatic consumers; CSV flattens the headline metrics plus one column
+//! per swept axis for spreadsheets and plotting scripts.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::{RunRecord, SweepReport};
+
+/// The metric columns every CSV export carries, in order.
+pub const CSV_METRICS: [&str; 10] = [
+    "ipc",
+    "cycles",
+    "instructions",
+    "perceived",
+    "perceived_fp",
+    "perceived_int",
+    "load_miss_ratio",
+    "store_miss_ratio",
+    "bus_utilization",
+    "branch_accuracy",
+];
+
+fn metric_values(record: &RunRecord) -> [String; 10] {
+    let r = &record.results;
+    [
+        format!("{:?}", r.ipc()),
+        r.cycles.to_string(),
+        r.instructions.to_string(),
+        format!("{:?}", r.perceived.combined()),
+        format!("{:?}", r.perceived.fp()),
+        format!("{:?}", r.perceived.int()),
+        format!("{:?}", r.load_miss_ratio()),
+        format!("{:?}", r.store_miss_ratio()),
+        format!("{:?}", r.bus_utilization),
+        format!("{:?}", r.branch_accuracy),
+    ]
+}
+
+/// Renders a report as CSV: `cell,workload,<axis...>,<metrics...>`.
+///
+/// Axis columns are the union of axis names across records, in first-seen
+/// order (within one grid every record has the same axes; merged reports may
+/// differ, missing values render empty).
+#[must_use]
+pub fn to_csv(report: &SweepReport) -> String {
+    let axes = report.axis_names();
+    let mut out = String::new();
+    out.push_str("cell,workload");
+    for axis in &axes {
+        out.push(',');
+        out.push_str(&csv_escape(axis));
+    }
+    for metric in CSV_METRICS {
+        out.push(',');
+        out.push_str(metric);
+    }
+    out.push('\n');
+    for record in &report.records {
+        out.push_str(&record.cell.to_string());
+        out.push(',');
+        out.push_str(&csv_escape(&record.workload));
+        for axis in &axes {
+            out.push(',');
+            if let Some(v) = record.label(axis) {
+                out.push_str(&csv_escape(v));
+            }
+        }
+        for value in metric_values(record) {
+            out.push(',');
+            out.push_str(&value);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a report as pretty JSON.
+#[must_use]
+pub fn to_json(report: &SweepReport) -> String {
+    serde::to_string_pretty(report)
+}
+
+/// Writes the JSON form to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_json(report: &SweepReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_file(path.as_ref(), to_json(report).as_bytes())
+}
+
+/// Writes the CSV form to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_csv(report: &SweepReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_file(path.as_ref(), to_csv(report).as_bytes())
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, SweepEngine, SweepGrid, WorkloadSpec};
+    use dsmt_core::SimConfig;
+
+    fn report() -> SweepReport {
+        let grid = SweepGrid::new("exp", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::benchmark("hydro2d"))
+            .with_axis(Axis::l2_latencies(&[1, 64]))
+            .with_budget(4_000);
+        SweepEngine::new(2).without_cache().run(&grid)
+    }
+
+    #[test]
+    fn csv_has_header_axis_and_metric_columns() {
+        let csv = to_csv(&report());
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert_eq!(
+            header,
+            "cell,workload,l2_latency,ipc,cycles,instructions,perceived,perceived_fp,\
+             perceived_int,load_miss_ratio,store_miss_ratio,bus_utilization,branch_accuracy"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("0,hydro2d,1,"));
+        assert!(rows[1].starts_with("1,hydro2d,64,"));
+        // Every row has the full column count.
+        for row in rows {
+            assert_eq!(row.split(',').count(), header.split(',').count(), "{row}");
+        }
+    }
+
+    #[test]
+    fn csv_escapes_embedded_delimiters() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_and_csv_files_round_trip_on_disk() {
+        let report = report();
+        let dir = std::env::temp_dir().join(format!("dsmt-export-test-{}", std::process::id()));
+        let json_path = dir.join("nested/report.json");
+        let csv_path = dir.join("report.csv");
+        write_json(&report, &json_path).expect("json write");
+        write_csv(&report, &csv_path).expect("csv write");
+        let text = std::fs::read_to_string(&json_path).expect("json read");
+        let back: SweepReport = serde::from_str(&text).expect("json parse");
+        assert_eq!(back, report);
+        assert!(std::fs::read_to_string(&csv_path)
+            .expect("csv read")
+            .starts_with("cell,workload"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,453 @@
+//! Declarative cartesian sweep spaces over `SimConfig` knobs and workloads.
+
+use dsmt_core::SimConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::{splitmix64, Scenario, WorkloadSpec};
+
+/// One value of one swept knob, applied to a base [`SimConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Setting {
+    /// L2 hit latency in cycles (the paper's main sweep variable).
+    L2Latency(u64),
+    /// Number of hardware contexts (keeps per-context MSHR replication in
+    /// step, like [`SimConfig::with_threads`]).
+    Threads(usize),
+    /// Decoupling on/off (instruction queues enabled/restricted).
+    Decoupled(bool),
+    /// Queue/register scaling with L2 latency on/off.
+    QueueScaling(bool),
+    /// Per-thread EP instruction-queue depth.
+    IqCapacity(usize),
+    /// L1D MSHR count (lockup-freedom).
+    Mshrs(usize),
+    /// AP/EP functional-unit split.
+    UnitSplit {
+        /// Address-processor units.
+        ap: usize,
+        /// Execute-processor units.
+        ep: usize,
+    },
+    /// L1D associativity.
+    L1Associativity(usize),
+    /// Threads allowed to fetch per cycle (the I-COUNT fetch gang size).
+    FetchThreadsPerCycle(usize),
+}
+
+impl Setting {
+    /// Applies the setting to a configuration.
+    #[must_use]
+    pub fn apply(&self, config: SimConfig) -> SimConfig {
+        let mut config = config;
+        match *self {
+            Setting::L2Latency(lat) => config.mem.l2_latency = lat,
+            Setting::Threads(n) => return config.with_threads(n),
+            Setting::Decoupled(d) => config.decoupled = d,
+            Setting::QueueScaling(s) => config.scale_queues_with_latency = s,
+            Setting::IqCapacity(n) => config.iq_capacity = n,
+            Setting::Mshrs(n) => config.mem.l1d.mshrs = n,
+            Setting::UnitSplit { ap, ep } => {
+                config.ap_units = ap;
+                config.ep_units = ep;
+            }
+            Setting::L1Associativity(a) => config.mem.l1d.associativity = a,
+            Setting::FetchThreadsPerCycle(n) => config.fetch_threads_per_cycle = n,
+        }
+        config
+    }
+
+    /// The knob name (CSV column header for the axis).
+    #[must_use]
+    pub fn axis_name(&self) -> &'static str {
+        match self {
+            Setting::L2Latency(_) => "l2_latency",
+            Setting::Threads(_) => "threads",
+            Setting::Decoupled(_) => "decoupled",
+            Setting::QueueScaling(_) => "queue_scaling",
+            Setting::IqCapacity(_) => "iq_capacity",
+            Setting::Mshrs(_) => "mshrs",
+            Setting::UnitSplit { .. } => "unit_split",
+            Setting::L1Associativity(_) => "l1_associativity",
+            Setting::FetchThreadsPerCycle(_) => "fetch_threads",
+        }
+    }
+
+    /// The value rendered for records and CSV cells.
+    #[must_use]
+    pub fn value_label(&self) -> String {
+        match *self {
+            Setting::L2Latency(lat) => lat.to_string(),
+            Setting::Threads(n) => n.to_string(),
+            Setting::Decoupled(d) => d.to_string(),
+            Setting::QueueScaling(s) => s.to_string(),
+            Setting::IqCapacity(n) => n.to_string(),
+            Setting::Mshrs(n) => n.to_string(),
+            Setting::UnitSplit { ap, ep } => format!("{ap}ap+{ep}ep"),
+            Setting::L1Associativity(a) => a.to_string(),
+            Setting::FetchThreadsPerCycle(n) => n.to_string(),
+        }
+    }
+}
+
+/// One swept dimension: a named list of [`Setting`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Axis name; defaults to the settings' knob name.
+    pub name: String,
+    /// The values swept along this axis.
+    pub settings: Vec<Setting>,
+}
+
+impl Axis {
+    /// An axis over explicit settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, settings: Vec<Setting>) -> Self {
+        assert!(!settings.is_empty(), "axis needs at least one setting");
+        Axis {
+            name: name.into(),
+            settings,
+        }
+    }
+
+    fn of(settings: Vec<Setting>) -> Self {
+        let name = settings[0].axis_name().to_string();
+        Axis::new(name, settings)
+    }
+
+    /// An L2-latency axis.
+    #[must_use]
+    pub fn l2_latencies(values: &[u64]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::L2Latency(v)).collect())
+    }
+
+    /// A hardware-context-count axis.
+    #[must_use]
+    pub fn threads(values: &[usize]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::Threads(v)).collect())
+    }
+
+    /// A decoupled-on/off axis.
+    #[must_use]
+    pub fn decoupled(values: &[bool]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::Decoupled(v)).collect())
+    }
+
+    /// An instruction-queue-depth axis.
+    #[must_use]
+    pub fn iq_capacities(values: &[usize]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::IqCapacity(v)).collect())
+    }
+
+    /// An MSHR-count axis.
+    #[must_use]
+    pub fn mshr_counts(values: &[usize]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::Mshrs(v)).collect())
+    }
+
+    /// An AP/EP-split axis.
+    #[must_use]
+    pub fn unit_splits(values: &[(usize, usize)]) -> Self {
+        Axis::of(
+            values
+                .iter()
+                .map(|&(ap, ep)| Setting::UnitSplit { ap, ep })
+                .collect(),
+        )
+    }
+
+    /// An L1-associativity axis.
+    #[must_use]
+    pub fn l1_associativities(values: &[usize]) -> Self {
+        Axis::of(
+            values
+                .iter()
+                .map(|&v| Setting::L1Associativity(v))
+                .collect(),
+        )
+    }
+}
+
+/// How per-cell seeds are derived from the grid seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// Every cell uses the grid seed verbatim. This matches the historical
+    /// harness behaviour and keeps a swept knob the *only* difference
+    /// between neighbouring cells.
+    Shared,
+    /// Each cell uses `splitmix64(grid_seed ^ cell_index)`, decorrelating
+    /// the workloads of different cells.
+    PerCell,
+}
+
+/// A declarative sweep: workloads × the cartesian product of the axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Grid name (used in reports and export file names).
+    pub name: String,
+    /// Configuration every cell starts from.
+    pub base: SimConfig,
+    /// Workloads crossed with the axes (outermost dimension).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Swept knobs; later axes vary fastest.
+    pub axes: Vec<Axis>,
+    /// Base seed.
+    pub seed: u64,
+    /// Instructions simulated per cell.
+    pub budget: u64,
+    /// Per-cell seed derivation.
+    pub seed_mode: SeedMode,
+}
+
+impl SweepGrid {
+    /// A grid with no workloads or axes yet; one cell per workload until
+    /// axes are added. Defaults: seed 42, 100k-instruction budget,
+    /// [`SeedMode::Shared`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, base: SimConfig) -> Self {
+        SweepGrid {
+            name: name.into(),
+            base,
+            workloads: Vec::new(),
+            axes: Vec::new(),
+            seed: 42,
+            budget: 100_000,
+            seed_mode: SeedMode::Shared,
+        }
+    }
+
+    /// Adds a workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds several workloads.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds an axis (later axes vary fastest).
+    #[must_use]
+    pub fn with_axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-cell instruction budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the seed derivation mode.
+    #[must_use]
+    pub fn with_seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Number of cells (workloads × product of axis lengths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self
+                .axes
+                .iter()
+                .map(|a| a.settings.len())
+                .product::<usize>()
+    }
+
+    /// Whether the grid has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises every cell, in deterministic order: workloads outermost,
+    /// then each axis left to right with the last axis varying fastest.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            let mut picks = vec![0usize; self.axes.len()];
+            loop {
+                let mut config = self.base.clone();
+                let mut labels = Vec::with_capacity(self.axes.len());
+                for (axis, &pick) in self.axes.iter().zip(&picks) {
+                    let setting = &axis.settings[pick];
+                    config = setting.apply(config);
+                    labels.push((axis.name.clone(), setting.value_label()));
+                }
+                let index = cells.len();
+                let seed = match self.seed_mode {
+                    SeedMode::Shared => self.seed,
+                    SeedMode::PerCell => splitmix64(self.seed ^ index as u64),
+                };
+                cells.push(Cell {
+                    index,
+                    workload_label: workload.label(),
+                    labels,
+                    scenario: Scenario {
+                        config,
+                        workload: workload.clone(),
+                        seed,
+                        budget: self.budget,
+                    },
+                });
+                // Odometer increment over the axes, last axis fastest.
+                let mut i = self.axes.len();
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                    picks[i] += 1;
+                    if picks[i] < self.axes[i].settings.len() {
+                        break;
+                    }
+                    picks[i] = 0;
+                }
+                if picks.iter().all(|&p| p == 0) {
+                    break;
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One materialised grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Position in grid order.
+    pub index: usize,
+    /// Workload label.
+    pub workload_label: String,
+    /// (axis name, value label) pairs in axis order.
+    pub labels: Vec<(String, String)>,
+    /// The fully specified simulation.
+    pub scenario: Scenario,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SweepGrid {
+        SweepGrid::new("t", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::spec_mix(1_000))
+            .with_axis(Axis::threads(&[1, 2, 3]))
+            .with_axis(Axis::l2_latencies(&[16, 64]))
+            .with_budget(5_000)
+    }
+
+    #[test]
+    fn cartesian_order_is_last_axis_fastest() {
+        let cells = grid().cells();
+        assert_eq!(cells.len(), 6);
+        let got: Vec<(usize, u64)> = cells
+            .iter()
+            .map(|c| {
+                (
+                    c.scenario.config.num_threads,
+                    c.scenario.config.mem.l2_latency,
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![(1, 16), (1, 64), (2, 16), (2, 64), (3, 16), (3, 64)]
+        );
+        assert_eq!(
+            cells[3].labels,
+            vec![
+                ("threads".to_string(), "2".to_string()),
+                ("l2_latency".to_string(), "64".to_string()),
+            ]
+        );
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn threads_setting_matches_paper_constructor() {
+        for n in 1..=6 {
+            let cell_cfg = Setting::Threads(n).apply(SimConfig::paper_multithreaded(1));
+            assert_eq!(cell_cfg, SimConfig::paper_multithreaded(n));
+        }
+    }
+
+    #[test]
+    fn axis_free_grid_has_one_cell_per_workload() {
+        let g = SweepGrid::new("w", SimConfig::paper_multithreaded(1)).with_workloads([
+            WorkloadSpec::benchmark("swim"),
+            WorkloadSpec::benchmark("apsi"),
+        ]);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(cells[0].workload_label, "swim");
+        assert!(cells[0].labels.is_empty());
+    }
+
+    #[test]
+    fn seed_modes_derive_distinct_seeds() {
+        let shared = grid().with_seed(9).cells();
+        assert!(shared.iter().all(|c| c.scenario.seed == 9));
+        let per_cell = grid()
+            .with_seed(9)
+            .with_seed_mode(SeedMode::PerCell)
+            .cells();
+        let mut seeds: Vec<u64> = per_cell.iter().map(|c| c.scenario.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), per_cell.len(), "per-cell seeds are distinct");
+    }
+
+    #[test]
+    fn settings_apply_the_documented_knob() {
+        let base = SimConfig::paper_multithreaded(2);
+        assert_eq!(
+            Setting::L2Latency(99).apply(base.clone()).mem.l2_latency,
+            99
+        );
+        assert!(!Setting::Decoupled(false).apply(base.clone()).decoupled);
+        assert!(
+            Setting::QueueScaling(true)
+                .apply(base.clone())
+                .scale_queues_with_latency
+        );
+        assert_eq!(Setting::IqCapacity(7).apply(base.clone()).iq_capacity, 7);
+        assert_eq!(Setting::Mshrs(3).apply(base.clone()).mem.l1d.mshrs, 3);
+        let split = Setting::UnitSplit { ap: 5, ep: 3 }.apply(base.clone());
+        assert_eq!((split.ap_units, split.ep_units), (5, 3));
+        assert_eq!(
+            Setting::L1Associativity(4)
+                .apply(base.clone())
+                .mem
+                .l1d
+                .associativity,
+            4
+        );
+        assert_eq!(
+            Setting::FetchThreadsPerCycle(1)
+                .apply(base)
+                .fetch_threads_per_cycle,
+            1
+        );
+    }
+}

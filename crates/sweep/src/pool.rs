@@ -1,0 +1,188 @@
+//! A work-stealing worker pool over `std::thread` scoped threads.
+//!
+//! Cells of a sweep vary wildly in cost (a 16-thread, 256-cycle-latency cell
+//! simulates far more work per instruction than a 1-thread, 1-cycle cell),
+//! so static partitioning leaves workers idle. Here each worker owns a
+//! contiguous range of the input; when it runs dry it steals the upper half
+//! of the largest remaining range. Ranges are tiny (two `usize`s under a
+//! mutex), so contention is negligible next to simulation cost.
+//!
+//! Determinism: the pool only affects *which worker* computes each output,
+//! never the output itself — outputs are returned in input order, and each
+//! job sees only its own input. Callers derive any randomness from the job
+//! index, not from scheduling.
+
+use std::sync::Mutex;
+
+/// A half-open index range owned by one worker.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    lo: usize,
+    hi: usize,
+}
+
+impl Span {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Applies `f` to every item, running up to `workers` jobs concurrently on a
+/// work-stealing pool, and returns the outputs in input order.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn run_indexed<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Initial even partition; spans are then mutated by their owner (pop
+    // from the front) and by thieves (split off the back half).
+    let spans: Vec<Mutex<Span>> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            Mutex::new(Span { lo, hi })
+        })
+        .collect();
+
+    let collected: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(n));
+    let f = &f;
+    let spans = &spans;
+    let collected_ref = &collected;
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            scope.spawn(move || {
+                let mut local: Vec<(usize, O)> = Vec::new();
+                loop {
+                    // Pop the next index from my own span.
+                    let idx = {
+                        let mut span = spans[me].lock().expect("span lock");
+                        if span.lo < span.hi {
+                            let i = span.lo;
+                            span.lo += 1;
+                            Some(i)
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(i) = idx {
+                        local.push((i, f(i, &items[i])));
+                        continue;
+                    }
+                    // Steal the upper half of the largest remaining span.
+                    let mut best: Option<(usize, usize)> = None; // (victim, len)
+                    for (v, span) in spans.iter().enumerate() {
+                        if v == me {
+                            continue;
+                        }
+                        let len = span.lock().expect("span lock").len();
+                        if len > 1 && best.is_none_or(|(_, l)| len > l) {
+                            best = Some((v, len));
+                        }
+                    }
+                    let Some((victim, _)) = best else {
+                        break; // Nothing worth stealing anywhere: done.
+                    };
+                    let stolen = {
+                        let mut span = spans[victim].lock().expect("span lock");
+                        let len = span.len();
+                        if len <= 1 {
+                            None // Raced: the victim drained it meanwhile.
+                        } else {
+                            let mid = span.lo + len / 2;
+                            let stolen = Span {
+                                lo: mid,
+                                hi: span.hi,
+                            };
+                            span.hi = mid;
+                            Some(stolen)
+                        }
+                    };
+                    if let Some(stolen) = stolen {
+                        let mut mine = spans[me].lock().expect("span lock");
+                        *mine = stolen;
+                    }
+                }
+                collected_ref.lock().expect("collect lock").extend(local);
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("collect lock");
+    assert_eq!(pairs.len(), n, "every job produces exactly one output");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Order-preserving parallel map (the classic harness entry point).
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_indexed(&inputs, workers, |_, x| f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_are_in_input_order_for_any_worker_count() {
+        let inputs: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = inputs.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let out = parallel_map(inputs.clone(), workers, |x| x * 3);
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let n = 500;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let out = run_indexed(&items, 7, |i, &x| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out, items);
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_job_costs_still_complete() {
+        // Front-loaded cost forces stealing from the first worker's span.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_indexed(&items, 8, |i, &x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(empty, 4, |x: &u64| *x).is_empty());
+        assert_eq!(parallel_map(vec![5u64], 4, |x| x + 1), vec![6]);
+    }
+}

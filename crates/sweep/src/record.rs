@@ -1,0 +1,172 @@
+//! Structured sweep results: one record per cell, one report per grid.
+
+use dsmt_core::SimResults;
+use serde::{Deserialize, Serialize};
+
+use crate::Scenario;
+
+/// The result of one sweep cell, with full provenance: the record alone is
+/// enough to reproduce the simulation (`scenario`) and to place it in the
+/// grid (`labels`).
+///
+/// Records deliberately exclude anything scheduling-dependent (wall time,
+/// worker id, cache hit/miss), so a grid's records are bit-identical across
+/// worker counts and across cached/uncached runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Cell index in grid order.
+    pub cell: usize,
+    /// Grid name.
+    pub grid: String,
+    /// Workload label.
+    pub workload: String,
+    /// (axis name, value label) pairs in axis order.
+    pub labels: Vec<(String, String)>,
+    /// Cache key of the scenario (hex).
+    pub key: String,
+    /// The fully specified simulation that produced `results`.
+    pub scenario: Scenario,
+    /// The simulation results.
+    pub results: SimResults,
+}
+
+impl RunRecord {
+    /// The value label for a named axis, if the grid swept it.
+    #[must_use]
+    pub fn label(&self, axis: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(name, _)| name == axis)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything a sweep produced: records in grid order plus cache telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Grid name.
+    pub grid: String,
+    /// One record per cell, in grid order.
+    pub records: Vec<RunRecord>,
+    /// Cells answered from the on-disk cache.
+    pub cache_hits: usize,
+    /// Cells that had to simulate.
+    pub cache_misses: usize,
+}
+
+impl SweepReport {
+    /// Merges several reports (e.g. the two Figure-5 grids) into one,
+    /// renumbering cells sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn merged(name: impl Into<String>, reports: Vec<SweepReport>) -> SweepReport {
+        assert!(!reports.is_empty(), "nothing to merge");
+        let mut out = SweepReport {
+            grid: name.into(),
+            records: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        for report in reports {
+            out.cache_hits += report.cache_hits;
+            out.cache_misses += report.cache_misses;
+            for mut record in report.records {
+                record.cell = out.records.len();
+                out.records.push(record);
+            }
+        }
+        out
+    }
+
+    /// Total cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the report is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `true` when every cell came from the cache.
+    #[must_use]
+    pub fn fully_cached(&self) -> bool {
+        self.cache_misses == 0 && !self.records.is_empty()
+    }
+
+    /// The union of axis names across all records, in first-seen order.
+    ///
+    /// Within one grid every record has the same axes; merged reports may
+    /// differ. Both the CSV exporter and table renderers derive their axis
+    /// columns from this, so they always agree.
+    #[must_use]
+    pub fn axis_names(&self) -> Vec<String> {
+        let mut axes: Vec<String> = Vec::new();
+        for record in &self.records {
+            for (name, _) in &record.labels {
+                if !axes.iter().any(|a| a == name) {
+                    axes.push(name.clone());
+                }
+            }
+        }
+        axes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SweepEngine, SweepGrid, WorkloadSpec};
+    use dsmt_core::SimConfig;
+
+    fn small_report() -> SweepReport {
+        let grid = SweepGrid::new("rec", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::benchmark("swim"))
+            .with_axis(crate::Axis::l2_latencies(&[1, 16]))
+            .with_budget(4_000);
+        SweepEngine::new(2).without_cache().run(&grid)
+    }
+
+    #[test]
+    fn records_carry_provenance_and_labels() {
+        let report = small_report();
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        let r = &report.records[1];
+        assert_eq!(r.label("l2_latency"), Some("16"));
+        assert_eq!(r.label("nope"), None);
+        assert_eq!(r.scenario.config.mem.l2_latency, 16);
+        assert_eq!(r.key, r.scenario.cache_key_hex());
+        // No cache attached: every cell simulated.
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_misses, 2);
+        assert!(!report.fully_cached());
+    }
+
+    #[test]
+    fn merged_renumbers_cells() {
+        let a = small_report();
+        let b = small_report();
+        let m = SweepReport::merged("both", vec![a, b]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(
+            m.records.iter().map(|r| r.cell).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(m.cache_misses, 4);
+        assert_eq!(m.grid, "both");
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = small_report();
+        let text = serde::to_string(&report);
+        let back: SweepReport = serde::from_str(&text).expect("report round-trips");
+        assert_eq!(back, report);
+    }
+}

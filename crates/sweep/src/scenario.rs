@@ -1,0 +1,250 @@
+//! One simulation cell: a configuration, a workload, a seed and a budget.
+
+use dsmt_core::{Processor, SimConfig, SimResults};
+use dsmt_trace::{
+    spec_fp95_profile, BenchmarkProfile, SyntheticTrace, ThreadWorkload, TraceSource,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{fnv1a64, CACHE_SCHEMA_VERSION};
+
+/// What the simulated threads execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's Section 3 multiprogrammed workload: every thread cycles
+    /// through all ten SPEC FP95 profiles in a thread-specific order,
+    /// switching program every `insts_per_program` instructions.
+    SpecMix {
+        /// Instructions per program segment.
+        insts_per_program: u64,
+    },
+    /// A single named SPEC FP95 profile on every thread (Section 2 uses this
+    /// with one thread).
+    Benchmark {
+        /// Profile name, e.g. `"tomcatv"`.
+        name: String,
+    },
+    /// A multiprogram mix restricted to the named profiles.
+    Mix {
+        /// Profile names in rotation order.
+        benchmarks: Vec<String>,
+        /// Instructions per program segment.
+        insts_per_program: u64,
+    },
+    /// A fully custom profile (for scenarios beyond the paper).
+    Profile {
+        /// The profile to synthesise.
+        profile: BenchmarkProfile,
+    },
+}
+
+impl WorkloadSpec {
+    /// Shorthand for [`WorkloadSpec::SpecMix`].
+    #[must_use]
+    pub fn spec_mix(insts_per_program: u64) -> Self {
+        WorkloadSpec::SpecMix { insts_per_program }
+    }
+
+    /// Shorthand for [`WorkloadSpec::Benchmark`].
+    #[must_use]
+    pub fn benchmark(name: impl Into<String>) -> Self {
+        WorkloadSpec::Benchmark { name: name.into() }
+    }
+
+    /// A short human-readable label used in records and CSV columns.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::SpecMix { .. } => "spec-fp95-mix".to_string(),
+            WorkloadSpec::Benchmark { name } => name.clone(),
+            WorkloadSpec::Mix { benchmarks, .. } => format!("mix:{}", benchmarks.join("+")),
+            WorkloadSpec::Profile { profile } => format!("profile:{}", profile.name),
+        }
+    }
+
+    /// Resolves the named profiles, failing fast on unknown benchmarks.
+    fn profiles(names: &[String]) -> Vec<BenchmarkProfile> {
+        names
+            .iter()
+            .map(|n| {
+                spec_fp95_profile(n).unwrap_or_else(|| panic!("unknown SPEC FP95 benchmark `{n}`"))
+            })
+            .collect()
+    }
+}
+
+/// A fully specified simulation: deterministic given its fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Processor and memory configuration.
+    pub config: SimConfig,
+    /// What the threads execute.
+    pub workload: WorkloadSpec,
+    /// Seed for workload synthesis.
+    pub seed: u64,
+    /// Instructions to simulate.
+    pub budget: u64,
+}
+
+impl Scenario {
+    /// The cache key: a stable hash over the canonical JSON encoding of
+    /// (cache schema version, workspace version, config, workload, seed,
+    /// budget).
+    ///
+    /// The workspace version is part of the key so that released simulator
+    /// changes can never replay stale results; within one version, a change
+    /// to simulator *behaviour* must be accompanied by a version (or
+    /// [`CACHE_SCHEMA_VERSION`](crate::CACHE_SCHEMA_VERSION)) bump — or use
+    /// `DSMT_SWEEP_CACHE=off` while iterating on the simulator itself.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let canonical = format!(
+            "v{}+{}:{}",
+            CACHE_SCHEMA_VERSION,
+            env!("CARGO_PKG_VERSION"),
+            serde::to_string(self)
+        );
+        fnv1a64(canonical.as_bytes())
+    }
+
+    /// The cache key as a fixed-width hex string (file-name friendly).
+    #[must_use]
+    pub fn cache_key_hex(&self) -> String {
+        format!("{:016x}", self.cache_key())
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or an unknown benchmark name —
+    /// grid construction bugs, not runtime conditions.
+    #[must_use]
+    pub fn execute(&self) -> SimResults {
+        self.config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario config: {e}"));
+        match &self.workload {
+            WorkloadSpec::SpecMix { insts_per_program } => {
+                let workload =
+                    ThreadWorkload::spec_fp95(self.seed).with_insts_per_program(*insts_per_program);
+                Processor::with_workload(self.config.clone(), &workload).run(self.budget)
+            }
+            WorkloadSpec::Mix {
+                benchmarks,
+                insts_per_program,
+            } => {
+                let workload = ThreadWorkload::new(
+                    WorkloadSpec::profiles(benchmarks),
+                    *insts_per_program,
+                    self.seed,
+                );
+                Processor::with_workload(self.config.clone(), &workload).run(self.budget)
+            }
+            WorkloadSpec::Benchmark { name } => {
+                let profile = spec_fp95_profile(name)
+                    .unwrap_or_else(|| panic!("unknown SPEC FP95 benchmark `{name}`"));
+                self.run_profile_on_all_threads(&profile)
+            }
+            WorkloadSpec::Profile { profile } => self.run_profile_on_all_threads(profile),
+        }
+    }
+
+    fn run_profile_on_all_threads(&self, profile: &BenchmarkProfile) -> SimResults {
+        let traces: Vec<Box<dyn TraceSource>> = (0..self.config.num_threads)
+            .map(|t| {
+                Box::new(SyntheticTrace::with_offset(
+                    profile,
+                    self.seed,
+                    t as u64 * 0x0400_2000,
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        Processor::new(self.config.clone(), traces).run(self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            config: SimConfig::paper_multithreaded(2),
+            workload: WorkloadSpec::spec_mix(3_000),
+            seed: 42,
+            budget: 12_000,
+        }
+    }
+
+    #[test]
+    fn cache_key_depends_on_every_field() {
+        let base = tiny_scenario();
+        let mut other = base.clone();
+        other.seed += 1;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.budget += 1;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.config = base.config.clone().with_l2_latency(64);
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.workload = WorkloadSpec::benchmark("tomcatv");
+        assert_ne!(base.cache_key(), other.cache_key());
+        // And it is stable across calls.
+        assert_eq!(base.cache_key(), tiny_scenario().cache_key());
+        assert_eq!(base.cache_key_hex().len(), 16);
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let s = tiny_scenario();
+        let a = s.execute();
+        let b = s.execute();
+        assert_eq!(a, b);
+        assert!(a.instructions >= s.budget);
+        assert!(a.ipc() > 0.0);
+    }
+
+    #[test]
+    fn single_benchmark_runs_on_every_thread() {
+        let s = Scenario {
+            config: SimConfig::paper_multithreaded(2),
+            workload: WorkloadSpec::benchmark("mgrid"),
+            seed: 7,
+            budget: 8_000,
+        };
+        let r = s.execute();
+        assert_eq!(r.per_thread_instructions.len(), 2);
+        assert!(r.per_thread_instructions.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn mix_workload_round_trips_through_json() {
+        let s = Scenario {
+            config: SimConfig::paper_single_thread_4wide(),
+            workload: WorkloadSpec::Mix {
+                benchmarks: vec!["swim".into(), "applu".into()],
+                insts_per_program: 2_000,
+            },
+            seed: 3,
+            budget: 6_000,
+        };
+        let text = serde::to_string(&s);
+        let back: Scenario = serde::from_str(&text).expect("scenario round-trips");
+        assert_eq!(back, s);
+        assert_eq!(back.cache_key(), s.cache_key());
+    }
+
+    #[test]
+    fn labels_are_short_and_distinct() {
+        assert_eq!(WorkloadSpec::spec_mix(1).label(), "spec-fp95-mix");
+        assert_eq!(WorkloadSpec::benchmark("swim").label(), "swim");
+        let mix = WorkloadSpec::Mix {
+            benchmarks: vec!["a".into(), "b".into()],
+            insts_per_program: 1,
+        };
+        assert_eq!(mix.label(), "mix:a+b");
+    }
+}

@@ -1,0 +1,107 @@
+//! Integration tests for the sweep engine's two load-bearing guarantees:
+//! bit-identical records at any worker count, and a fully-cached second run
+//! that simulates nothing.
+
+use dsmt_core::SimConfig;
+use dsmt_sweep::{Axis, SeedMode, SweepEngine, SweepGrid, SweepReport, WorkloadSpec};
+
+fn figure_like_grid(seed_mode: SeedMode) -> SweepGrid {
+    // A miniature Figure-4-shaped grid: threads × decoupling × latency,
+    // plus a single-benchmark workload next to the SPEC mix.
+    SweepGrid::new(
+        "integration",
+        SimConfig::paper_multithreaded(1).with_queue_scaling(true),
+    )
+    .with_workload(WorkloadSpec::spec_mix(3_000))
+    .with_workload(WorkloadSpec::benchmark("hydro2d"))
+    .with_axis(Axis::threads(&[1, 2]))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_axis(Axis::l2_latencies(&[16, 64]))
+    .with_budget(8_000)
+    .with_seed(42)
+    .with_seed_mode(seed_mode)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsmt-sweep-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn records_are_bit_identical_at_1_4_and_8_workers() {
+    for seed_mode in [SeedMode::Shared, SeedMode::PerCell] {
+        let grid = figure_like_grid(seed_mode);
+        let reference = SweepEngine::new(1).without_cache().run(&grid);
+        assert_eq!(reference.records.len(), 16);
+        for workers in [4, 8] {
+            let got = SweepEngine::new(workers).without_cache().run(&grid);
+            assert_eq!(
+                got.records, reference.records,
+                "worker count must not change results ({seed_mode:?}, {workers} workers)"
+            );
+        }
+        // The serialized form is identical too (what export writes to disk).
+        let a = serde::to_string(&reference.records);
+        let b = serde::to_string(&SweepEngine::new(4).without_cache().run(&grid).records);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn second_run_is_a_full_cache_hit_with_identical_records() {
+    let grid = figure_like_grid(SeedMode::Shared);
+    let dir = temp_dir("roundtrip");
+
+    let first = SweepEngine::new(4).with_cache_dir(&dir).run(&grid);
+    assert_eq!(first.cache_hits, 0, "cold cache");
+    assert_eq!(first.cache_misses, grid.len());
+
+    let second = SweepEngine::new(2).with_cache_dir(&dir).run(&grid);
+    assert_eq!(second.cache_misses, 0, "warm cache simulates nothing");
+    assert_eq!(second.cache_hits, grid.len());
+    assert!(second.fully_cached());
+    assert_eq!(
+        second.records, first.records,
+        "cached records are bit-identical to simulated ones"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_cells_miss_while_unchanged_cells_still_hit() {
+    let dir = temp_dir("partial");
+    let grid = figure_like_grid(SeedMode::Shared);
+    let engine = SweepEngine::new(4).with_cache_dir(&dir);
+    let _ = engine.run(&grid);
+
+    // Growing one axis re-simulates only the new cells.
+    let mut wider = figure_like_grid(SeedMode::Shared);
+    wider.axes[2] = Axis::l2_latencies(&[16, 64, 256]);
+    let report = engine.run(&wider);
+    assert_eq!(report.records.len(), 24);
+    assert_eq!(report.cache_hits, 16, "old cells hit");
+    assert_eq!(report.cache_misses, 8, "only the L2=256 cells simulate");
+
+    // Changing the budget invalidates everything (it is part of the key).
+    let rebudgeted = figure_like_grid(SeedMode::Shared).with_budget(9_000);
+    let report = engine.run(&rebudgeted);
+    assert_eq!(report.cache_hits, 0);
+    assert_eq!(report.cache_misses, 16);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merged_reports_preserve_per_grid_telemetry() {
+    let dir = temp_dir("merged");
+    let engine = SweepEngine::new(4).with_cache_dir(&dir);
+    let a = engine.run(&figure_like_grid(SeedMode::Shared));
+    let b = engine.run(&figure_like_grid(SeedMode::Shared));
+    let merged = SweepReport::merged("both", vec![a, b]);
+    assert_eq!(merged.len(), 32);
+    assert_eq!(merged.cache_hits, 16);
+    assert_eq!(merged.cache_misses, 16);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -141,7 +141,7 @@ mod tests {
         let mut a = ArrayStream::new(0x4000, 1000, 24);
         for _ in 0..10_000 {
             let addr = a.next_addr();
-            assert!(addr >= 0x4000 && addr < 0x4000 + 1000);
+            assert!((0x4000..0x4000 + 1000).contains(&addr));
         }
     }
 

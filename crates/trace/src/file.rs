@@ -253,7 +253,7 @@ mod tests {
     fn error_display_messages() {
         let e = TraceFileError::BadMagic;
         assert!(e.to_string().contains("magic"));
-        let e = TraceFileError::Io(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = TraceFileError::Io(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
     }

@@ -47,7 +47,7 @@ mod workload;
 
 pub use addr::{ArrayStream, ScalarRegion};
 pub use file::{TraceFileError, TraceReader, TraceWriter, TRACE_MAGIC};
-pub use profile::{spec_fp95_profiles, spec_fp95_profile, BenchmarkProfile};
+pub use profile::{spec_fp95_profile, spec_fp95_profiles, BenchmarkProfile};
 pub use source::{TraceSource, VecTrace};
 pub use stats::TraceStats;
 pub use synth::SyntheticTrace;

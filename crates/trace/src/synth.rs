@@ -403,12 +403,16 @@ mod tests {
         let mut t = SyntheticTrace::new(&p, 3);
         let insts = take(&mut t, 20_000);
         let n = insts.len() as f64;
-        let frac = |pred: fn(&Instruction) -> bool| insts.iter().filter(|i| pred(i)).count() as f64 / n;
+        let frac =
+            |pred: fn(&Instruction) -> bool| insts.iter().filter(|i| pred(i)).count() as f64 / n;
         let fp_loads = frac(|i| i.op == OpClass::LoadFp);
         let stores = frac(|i| i.op.is_store());
         let fp_ops = frac(|i| i.op.is_fp_compute());
         let branches = frac(|i| i.op.is_control());
-        assert!((fp_loads - p.frac_fp_load).abs() < 0.05, "fp loads {fp_loads}");
+        assert!(
+            (fp_loads - p.frac_fp_load).abs() < 0.05,
+            "fp loads {fp_loads}"
+        );
         assert!((stores - p.frac_store).abs() < 0.05, "stores {stores}");
         assert!((fp_ops - p.frac_fp_ops).abs() < 0.07, "fp ops {fp_ops}");
         assert!(branches > 0.01 && branches < 0.15, "branches {branches}");
@@ -430,7 +434,11 @@ mod tests {
         let mut t = SyntheticTrace::new(&p, 5);
         for inst in take(&mut t, 5000) {
             if let Some(m) = inst.mem {
-                assert!(m.addr >= p.data_base, "address {:#x} below data base", m.addr);
+                assert!(
+                    m.addr >= p.data_base,
+                    "address {:#x} below data base",
+                    m.addr
+                );
                 assert_eq!(m.size, 8);
             }
         }
@@ -461,10 +469,7 @@ mod tests {
             let mut t = SyntheticTrace::new(&p, 11);
             take(&mut t, 20_000)
                 .iter()
-                .filter(|i| {
-                    i.op == OpClass::IntAlu
-                        && i.sources().any(|r| r.is_fp())
-                })
+                .filter(|i| i.op == OpClass::IntAlu && i.sources().any(|r| r.is_fp()))
                 .count()
         };
         let fpppp = count_lod("fpppp");

@@ -51,7 +51,9 @@ impl RoundRobin {
     /// Returns the current priority ordering without rotating.
     #[must_use]
     pub fn peek_ordering(&self) -> Vec<usize> {
-        (0..self.n).map(|i| (self.next_start + i) % self.n).collect()
+        (0..self.n)
+            .map(|i| (self.next_start + i) % self.n)
+            .collect()
     }
 
     /// Resets the rotation.
@@ -94,7 +96,7 @@ mod tests {
     #[test]
     fn every_participant_gets_top_priority_equally() {
         let mut rr = RoundRobin::new(4);
-        let mut top_counts = vec![0usize; 4];
+        let mut top_counts = [0usize; 4];
         for _ in 0..400 {
             let order = rr.ordering();
             top_counts[order[0]] += 1;

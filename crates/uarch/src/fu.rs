@@ -29,7 +29,10 @@ impl FuPool {
     /// Panics if `count` or `latency` is zero.
     #[must_use]
     pub fn new(count: usize, latency: u64, pipelined: bool) -> Self {
-        assert!(count > 0, "functional unit pool must have at least one unit");
+        assert!(
+            count > 0,
+            "functional unit pool must have at least one unit"
+        );
         assert!(latency > 0, "functional unit latency must be non-zero");
         FuPool {
             latency,

@@ -12,12 +12,12 @@
 //! Run with: `cargo run --release --example custom_benchmark`
 
 use dsmt_repro::core::{Processor, SimConfig};
-use dsmt_repro::trace::{
-    BenchmarkProfile, SyntheticTrace, TraceReader, TraceSource, TraceWriter,
-};
+use dsmt_repro::trace::{BenchmarkProfile, SyntheticTrace, TraceReader, TraceSource, TraceWriter};
 
 fn simulate(profile: &BenchmarkProfile) -> f64 {
-    let config = SimConfig::paper_multithreaded(1).with_l2_latency(64).with_queue_scaling(true);
+    let config = SimConfig::paper_multithreaded(1)
+        .with_l2_latency(64)
+        .with_queue_scaling(true);
     let trace = SyntheticTrace::new(profile, 3);
     let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(trace)];
     Processor::new(config, traces).run(200_000).ipc()

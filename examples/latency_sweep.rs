@@ -13,7 +13,10 @@ fn main() {
     let latencies = [1u64, 16, 32, 64, 128, 256];
     let instructions = 300_000;
 
-    println!("{:>8} | {:>12} {:>16} | {:>12} {:>16}", "L2 lat", "dec IPC", "dec perceived", "non IPC", "non perceived");
+    println!(
+        "{:>8} | {:>12} {:>16} | {:>12} {:>16}",
+        "L2 lat", "dec IPC", "dec perceived", "non IPC", "non perceived"
+    );
     println!("{}", "-".repeat(76));
 
     for &lat in &latencies {

@@ -24,9 +24,18 @@ fn main() {
     println!("instructions retired : {}", results.instructions);
     println!("cycles               : {}", results.cycles);
     println!("IPC                  : {:.2}", results.ipc());
-    println!("branch accuracy      : {:.1}%", results.branch_accuracy * 100.0);
-    println!("L1 load miss ratio   : {:.1}%", results.load_miss_ratio() * 100.0);
-    println!("bus utilisation      : {:.1}%", results.bus_utilization * 100.0);
+    println!(
+        "branch accuracy      : {:.1}%",
+        results.branch_accuracy * 100.0
+    );
+    println!(
+        "L1 load miss ratio   : {:.1}%",
+        results.load_miss_ratio() * 100.0
+    );
+    println!(
+        "bus utilisation      : {:.1}%",
+        results.bus_utilization * 100.0
+    );
     println!(
         "perceived load miss latency: {:.1} cycles (fp {:.1}, int {:.1})",
         results.perceived.combined(),

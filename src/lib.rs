@@ -12,8 +12,10 @@
 //! * [`mem`] — the L1/L2/bus memory hierarchy model;
 //! * [`uarch`] — branch prediction, renaming, queues, functional units;
 //! * [`core`] — the cycle-accurate multithreaded decoupled processor;
+//! * [`sweep`] — the parallel scenario-sweep engine (grids, deterministic
+//!   seeding, result caching, JSON/CSV export);
 //! * [`experiments`] — the harness that regenerates every figure of the
-//!   paper.
+//!   paper on top of the sweep engine.
 //!
 //! # Example
 //!
@@ -31,5 +33,6 @@ pub use dsmt_core as core;
 pub use dsmt_experiments as experiments;
 pub use dsmt_isa as isa;
 pub use dsmt_mem as mem;
+pub use dsmt_sweep as sweep;
 pub use dsmt_trace as trace;
 pub use dsmt_uarch as uarch;

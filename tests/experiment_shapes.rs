@@ -32,7 +32,12 @@ fn figure3_shape_multithreading_fills_the_issue_slots() {
         one.ep.fraction(dsmt_repro::core::SlotUse::WaitFu)
     );
     // Multithreading sharply raises throughput and AP utilisation.
-    assert!(four.ipc > 1.7 * one.ipc, "4T {} vs 1T {}", four.ipc, one.ipc);
+    assert!(
+        four.ipc > 1.7 * one.ipc,
+        "4T {} vs 1T {}",
+        four.ipc,
+        one.ipc
+    );
     assert!(four.ap.utilization() > one.ap.utilization());
 }
 

@@ -3,8 +3,8 @@
 
 use dsmt_repro::core::{Processor, SimConfig};
 use dsmt_repro::trace::{
-    spec_fp95_profile, BenchmarkProfile, SyntheticTrace, ThreadWorkload, TraceReader,
-    TraceSource, TraceWriter, VecTrace,
+    spec_fp95_profile, BenchmarkProfile, SyntheticTrace, ThreadWorkload, TraceReader, TraceSource,
+    TraceWriter, VecTrace,
 };
 
 const RUN: u64 = 40_000;
@@ -74,7 +74,9 @@ fn trace_file_replay_matches_generator_driven_simulation() {
     let from_generator = {
         // Re-capture the same prefix into a VecTrace to bound it identically.
         let mut generator = SyntheticTrace::new(&profile, 77);
-        let insts: Vec<_> = (0..n).map(|_| generator.next_instruction().unwrap()).collect();
+        let insts: Vec<_> = (0..n)
+            .map(|_| generator.next_instruction().unwrap())
+            .collect();
         let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(VecTrace::new("mgrid", insts))];
         Processor::new(config, traces).run(n)
     };
@@ -112,8 +114,7 @@ fn fpppp_loses_decoupling_and_exposes_latency() {
         .with_l2_latency(64)
         .with_queue_scaling(true);
     let fpppp = single_thread(config.clone(), &spec_fp95_profile("fpppp").unwrap(), 3).run(RUN);
-    let tomcatv =
-        single_thread(config, &spec_fp95_profile("tomcatv").unwrap(), 3).run(RUN);
+    let tomcatv = single_thread(config, &spec_fp95_profile("tomcatv").unwrap(), 3).run(RUN);
     assert!(
         fpppp.perceived.fp() > 3.0 * tomcatv.perceived.fp(),
         "fpppp {:.1} vs tomcatv {:.1}",

@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.05f64..0.3,  // fp loads
-        0.0f64..0.1,   // int loads
-        0.0f64..0.15,  // stores
-        0.2f64..0.45,  // fp ops
-        1usize..7,     // chains
-        0.0f64..0.5,   // lod
-        1usize..12,    // int load use distance
-        0.0f64..0.9,   // stream fraction
+        0.05f64..0.3, // fp loads
+        0.0f64..0.1,  // int loads
+        0.0f64..0.15, // stores
+        0.2f64..0.45, // fp ops
+        1usize..7,    // chains
+        0.0f64..0.5,  // lod
+        1usize..12,   // int load use distance
+        0.0f64..0.9,  // stream fraction
         prop::sample::select(vec![64u64 * 1024, 1024 * 1024, 8 * 1024 * 1024]),
     )
         .prop_map(

@@ -1,0 +1,239 @@
+//! Offline shim for the `criterion` benchmarking API subset.
+//!
+//! Provides the same source-level interface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotations) backed by a plain wall-clock harness: each benchmark warms
+//! up briefly, then runs up to `sample_size` timed iterations bounded by
+//! `measurement_time`, and prints the mean time per iteration plus derived
+//! throughput. No statistics, plots or comparisons — just honest timings
+//! that work offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled in by [`Bencher::iter`]: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.sample_size as u64 && start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        match b.result {
+            Some((iters, elapsed)) => {
+                let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                let mut line = format!("bench: {full:<55} {:>12.0} ns/iter", ns_per_iter);
+                if let Some(t) = self.throughput {
+                    let (count, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem"),
+                        Throughput::Bytes(n) => (n, "B"),
+                    };
+                    let per_sec = count as f64 / (ns_per_iter / 1e9);
+                    if per_sec >= 1e6 {
+                        line.push_str(&format!(" ({:.2} M{unit}/s)", per_sec / 1e6));
+                    } else {
+                        line.push_str(&format!(" ({per_sec:.1} {unit}/s)"));
+                    }
+                }
+                println!("{line}");
+                self.criterion.completed += 1;
+            }
+            None => println!("bench: {full:<55} (no iterations recorded)"),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.name.clone();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50))
+            .throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 3, "warm-up + 3 samples, got {calls}");
+        assert_eq!(c.completed, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("tomcatv", 256);
+        assert_eq!(id.name, "tomcatv/256");
+    }
+}

@@ -1,0 +1,508 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! Provides deterministic random testing without shrinking: each `proptest!`
+//! test runs `ProptestConfig::cases` cases, with the RNG seeded from the
+//! test's path and the case index, so failures reproduce exactly across
+//! machines and runs. No persistence files, no shrinking — a failing case
+//! prints its case index; re-running reproduces it.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Per-test deterministic random source.
+    #[derive(Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from a test identifier and case index.
+        #[must_use]
+        pub fn deterministic(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ (u64::from(case) << 32) ^ u64::from(case),
+            ))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.0.gen_range(0..n)
+            }
+        }
+    }
+
+    /// Run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Marker strategy for "any value of a primitive type".
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    /// The strategy instance.
+    #[must_use]
+    pub const fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any::new()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> Any<Self>;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> Any<$t> { Any::new() }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    T::arbitrary()
+}
+
+pub mod prop {
+    //! Mirrors the `proptest::prop` namespace.
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// Either boolean with equal probability.
+        pub const ANY: crate::Any<bool> = crate::Any::new();
+    }
+
+    pub mod num {
+        //! Numeric strategies.
+
+        pub mod u64 {
+            //! `u64` strategies.
+
+            /// Any `u64`.
+            pub const ANY: crate::Any<u64> = crate::Any::new();
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// See [`of`].
+        #[derive(Debug)]
+        pub struct OptionOf<S>(S);
+
+        impl<S: Strategy> Strategy for OptionOf<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` or `Some(inner)` with equal probability.
+        pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+            OptionOf(inner)
+        }
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        use std::ops::Range;
+
+        /// See [`vec`].
+        #[derive(Debug)]
+        pub struct VecOf<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecOf<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span.max(1)) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector of `element` values with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecOf<S> {
+            VecOf { element, len }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies.
+
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        use std::fmt::Debug;
+
+        /// See [`select`].
+        #[derive(Debug)]
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// One of `items`, uniformly.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `items` is empty.
+        pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select(items)
+        }
+    }
+}
+
+/// Runs property tests: `proptest! { #[test] fn name(x in strategy) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($config).cases;
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Skips the current case when its assumption fails.
+///
+/// Inside the shim's `proptest!` expansion the test body is the top level of
+/// the per-case loop, so `continue` moves on to the next case. Using this
+/// macro inside a nested loop within a test body is not supported.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t", 0);
+        for _ in 0..1_000 {
+            let x = (0u8..32).generate(&mut rng);
+            assert!(x < 32);
+            let y = (1u8..=16).generate(&mut rng);
+            assert!((1..=16).contains(&y));
+            let f = (0.05f64..0.3).generate(&mut rng);
+            assert!((0.05..0.3).contains(&f));
+            let (a, b) = ((1usize..7), prop::bool::ANY).generate(&mut rng);
+            assert!((1..7).contains(&a));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn map_filter_select_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2", 1);
+        let s = (0u64..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("must be small", |x| *x < 100);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 100);
+        }
+        let sel = prop::sample::select(vec![3u64, 5, 7]);
+        for _ in 0..50 {
+            assert!([3, 5, 7].contains(&sel.generate(&mut rng)));
+        }
+        let vecs = prop::collection::vec(0u8..10, 0..5);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!(v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_binds_patterns(x in 0u32..10, flag in prop::bool::ANY) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let mut a = crate::test_runner::TestRng::deterministic("same", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("same", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline shim for the `serde` API subset this workspace uses.
+//!
+//! The container registry is unreachable in the build environment, so this
+//! crate supplies the `Serialize`/`Deserialize` traits (plus derive macros
+//! re-exported from the local `serde_derive` shim) backed by a small
+//! self-describing [`Value`] tree with an exact JSON round-trip:
+//!
+//! * integers serialize losslessly (`u64`/`i64` never go through `f64`);
+//! * floats use Rust's shortest round-trip formatting (`{:?}`), so
+//!   `parse(format(x)) == x` bit-for-bit for every finite `f64`;
+//! * object key order is the struct-field declaration order, making the
+//!   compact JSON form canonical — `dsmt-sweep` hashes it for cache keys.
+//!
+//! Only what the workspace needs is implemented; this is not a general serde.
+
+// The derive macros share names with the traits below; macros live in a
+// separate namespace, so both resolve from `use serde::{Serialize, ...}`.
+pub use serde_derive::{Deserialize, Serialize};
+
+mod json;
+
+pub use json::{from_str, to_string, to_string_pretty};
+
+/// A self-describing data tree, the interchange form of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (also covers `usize` and small positives).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg(format!("missing field `{name}`"))),
+            other => Err(DeError::msg(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Value::U64(n) => Ok(*n),
+            other => Err(DeError::msg(format!(
+                "expected unsigned int, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Non-finite floats are stored as strings in JSON.
+            Value::Str(s) if s == "NaN" => Ok(f64::NAN),
+            Value::Str(s) if s == "inf" => Ok(f64::INFINITY),
+            Value::Str(s) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of i64 range")))?,
+                    other => return Err(DeError::msg(format!("expected int, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::msg(format!(
+                "expected 2-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted keys keep the compact JSON canonical despite hash order.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, item)| Ok((k.clone(), V::from_value(item)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert!(obj.field("a").is_ok());
+        let err = obj.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}
