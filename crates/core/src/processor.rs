@@ -1,22 +1,33 @@
 //! The cycle-by-cycle multithreaded decoupled processor model.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The per-cycle loop is allocation-free in steady state: completion events
+//! live in a fixed [`EventWheel`], windows and the ROB are ring buffers,
+//! and the issue/fetch stages reuse scratch buffers owned by the
+//! [`Processor`] instead of collecting fresh `Vec`s every cycle.
 
 use dsmt_isa::{steer, OpClass, RegClass, Unit};
 use dsmt_mem::{AccessKind, AccessResponse, MemorySystem};
 use dsmt_trace::{ThreadWorkload, TraceSource};
-use dsmt_uarch::{icount_pick, FuPool, RoundRobin};
+use dsmt_uarch::{icount_pick_into, EventWheel, FuPool, RoundRobin};
 
 use crate::thread::{
     DestOperand, FetchedInst, InflightInst, RobPayload, SaqEntry, SrcOperand, ThreadContext,
 };
 use crate::{PerceivedLatency, SimConfig, SimResults, SlotUse, UnitSlots};
 
+/// Thread-count ceiling for the stall fast-forward path (a stack array
+/// bounds the per-rotation attribution replay); larger machines simply
+/// step cycle by cycle.
+const MAX_FF_THREADS: usize = 64;
+
+/// A blocked-head verdict collected by the fast-forward scan: the stall
+/// classification and perceived-latency class to replay per skipped cycle,
+/// or `None` for an empty window.
+type BlockedVerdict = Option<(SlotUse, Option<RegClass>)>;
+
 /// A deferred "instruction finishes executing" event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CompletionEvent {
-    cycle: u64,
     thread: usize,
     rob: dsmt_uarch::RobToken,
     /// `Some(seq)` when the completing instruction is a conditional branch
@@ -35,6 +46,11 @@ enum HeadProbe {
         /// integer loads feed integer registers) — used for the
         /// perceived-latency metric.
         miss_class: Option<RegClass>,
+        /// The first cycle at which the blocking condition can clear, when
+        /// it is known exactly (the blocking operand's recorded ready
+        /// cycle). `None` when the bound is unknown (producer not issued
+        /// yet, or a store-address-queue conflict).
+        until: Option<u64>,
     },
 }
 
@@ -64,7 +80,7 @@ pub struct Processor {
     mem: MemorySystem,
     arbiter: RoundRobin,
     cycle: u64,
-    completions: BinaryHeap<Reverse<CompletionEvent>>,
+    completions: EventWheel<CompletionEvent>,
     ap_slots: UnitSlots,
     ep_slots: UnitSlots,
     perceived: PerceivedLatency,
@@ -72,6 +88,27 @@ pub struct Processor {
     stores: u64,
     branches: u64,
     mispredictions: u64,
+    /// Scratch buffers reused across cycles so the pipeline stages never
+    /// allocate in steady state.
+    scratch: Scratch,
+}
+
+/// Per-cycle scratch storage (see the stage methods for what each holds).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// This cycle's round-robin thread ordering (issue stage).
+    order: Vec<usize>,
+    /// Stall causes of the oldest non-issuable instructions (issue stage).
+    blocked: Vec<SlotUse>,
+    /// Per-thread pending-dispatch counts (fetch stage, I-COUNT metric).
+    pending: Vec<usize>,
+    /// Per-thread fetch eligibility (fetch stage).
+    eligible: Vec<bool>,
+    /// Threads selected to fetch this cycle (fetch stage).
+    picks: Vec<usize>,
+    /// Fast-forward: per-thread blocked-head verdicts for the AP (index 0)
+    /// and EP (index 1), `None` for an empty window.
+    ff_blocked: [Vec<BlockedVerdict>; 2],
 }
 
 impl std::fmt::Debug for Processor {
@@ -107,14 +144,22 @@ impl Processor {
             .enumerate()
             .map(|(id, trace)| ThreadContext::new(id, &config, trace))
             .collect();
+        let mem_cfg = config.effective_mem();
+        // Fast-path horizon for the completion wheel: an unqueued fill
+        // (L1 detect + L2 + some bus slack) or a functional-unit latency,
+        // whichever is larger. Deeper bus queueing spills to the wheel's
+        // overflow heap, so this is a performance hint, not a correctness
+        // bound.
+        let horizon = (mem_cfg.l1d.hit_latency + mem_cfg.l2_latency + 64)
+            .max(config.ap_latency.max(config.ep_latency) + 1);
         Processor {
             ap_fus: FuPool::new(config.ap_units, config.ap_latency, true),
             ep_fus: FuPool::new(config.ep_units, config.ep_latency, true),
-            mem: MemorySystem::new(config.effective_mem()),
+            mem: MemorySystem::new(mem_cfg),
             arbiter: RoundRobin::new(config.num_threads),
             threads,
             cycle: 0,
-            completions: BinaryHeap::new(),
+            completions: EventWheel::with_horizon(horizon),
             ap_slots: UnitSlots::default(),
             ep_slots: UnitSlots::default(),
             perceived: PerceivedLatency::default(),
@@ -122,6 +167,7 @@ impl Processor {
             stores: 0,
             branches: 0,
             mispredictions: 0,
+            scratch: Scratch::default(),
             config,
         }
     }
@@ -185,9 +231,11 @@ impl Processor {
         self.mem.begin_cycle(cycle);
         self.process_completions(cycle);
         self.retire();
-        let order = self.arbiter.ordering();
+        let mut order = std::mem::take(&mut self.scratch.order);
+        self.arbiter.ordering_into(&mut order);
         self.issue(Unit::Ap, &order, cycle);
         self.issue(Unit::Ep, &order, cycle);
+        self.scratch.order = order;
         self.dispatch();
         self.fetch(cycle);
         self.cycle += 1;
@@ -204,20 +252,188 @@ impl Processor {
             && self.cycle < cycle_cap
             && !self.all_drained()
         {
-            self.step();
+            self.advance(cycle_cap - self.cycle);
         }
         self.results()
     }
 
     /// Runs for exactly `cycles` additional cycles.
     pub fn run_cycles(&mut self, cycles: u64) -> SimResults {
-        for _ in 0..cycles {
+        let target = self.cycle + cycles;
+        while self.cycle < target {
             if self.all_drained() {
                 break;
             }
-            self.step();
+            self.advance(target - self.cycle);
         }
         self.results()
+    }
+
+    /// Advances the simulation by at least one and at most `max_cycles`
+    /// cycles, fast-forwarding through provably inactive stall windows.
+    /// Statistics and architectural state are bit-identical to stepping
+    /// cycle by cycle.
+    fn advance(&mut self, max_cycles: u64) {
+        if max_cycles > 1 {
+            if let Some(skipped) = self.try_fast_forward(max_cycles) {
+                debug_assert!(skipped >= 2);
+                return;
+            }
+        }
+        self.step();
+    }
+
+    /// Attempts to batch-simulate a stall window starting at the current
+    /// cycle. Succeeds only when the next `n >= 2` cycles are provably
+    /// no-ops apart from per-cycle accounting:
+    ///
+    /// * no completion event is due (bounded via the event wheel);
+    /// * no thread may fetch (buffer full, wrong path, branch limit, or
+    ///   trace drained) — fetch eligibility only changes through completions;
+    /// * no thread can dispatch (empty fetch buffer or a structural stall
+    ///   that only retirement/issue could clear);
+    /// * no ROB head is completed (so retirement does nothing);
+    /// * every non-empty window head is blocked with an exactly known
+    ///   wake-up cycle (the blocking operand's recorded ready cycle).
+    ///
+    /// On success it replays the per-cycle bookkeeping those `n` steps
+    /// would have performed — issue-slot attribution (rotation-exact),
+    /// perceived-latency stalls, arbiter rotation — and jumps the clock.
+    /// Returns the number of cycles skipped.
+    fn try_fast_forward(&mut self, max_cycles: u64) -> Option<u64> {
+        let cycle = self.cycle;
+        let max_unresolved = self.config.max_unresolved_branches;
+        if self.threads.len() > MAX_FF_THREADS {
+            return None;
+        }
+        // Exclusive upper bound on the cycles we may skip.
+        let mut wake = cycle.checked_add(max_cycles)?;
+
+        let mut ff_blocked = std::mem::take(&mut self.scratch.ff_blocked);
+        for side in &mut ff_blocked {
+            side.clear();
+        }
+        for thread in &self.threads {
+            if thread.fetch_eligible(max_unresolved) {
+                self.scratch.ff_blocked = ff_blocked;
+                return None;
+            }
+            if thread.rob.head_completed() {
+                self.scratch.ff_blocked = ff_blocked;
+                return None;
+            }
+            if let Some(fetched) = thread.fetch_buffer.front() {
+                let inst = fetched.inst;
+                let unit = steer(inst.op);
+                let dispatch_blocked = thread.rob.is_full()
+                    || thread.window(unit).is_full()
+                    || (inst.op.is_store() && thread.saq.is_full())
+                    || inst
+                        .real_dest()
+                        .is_some_and(|d| !thread.regs(d.class()).can_rename());
+                if !dispatch_blocked {
+                    self.scratch.ff_blocked = ff_blocked;
+                    return None;
+                }
+            }
+            for (side, unit) in [(0usize, Unit::Ap), (1usize, Unit::Ep)] {
+                let verdict = match thread.window(unit).front() {
+                    None => None,
+                    Some(head) => {
+                        let cached = match thread.head_block(unit) {
+                            Some(hb) if hb.seq == head.seq && cycle < hb.until => {
+                                Some((hb.kind, hb.miss_class, hb.until))
+                            }
+                            _ => match probe_head(thread, head, cycle) {
+                                HeadProbe::Blocked {
+                                    kind,
+                                    miss_class,
+                                    until: Some(u),
+                                } => Some((kind, miss_class, u)),
+                                // Ready, or blocked without a known bound.
+                                _ => {
+                                    self.scratch.ff_blocked = ff_blocked;
+                                    return None;
+                                }
+                            },
+                        };
+                        let (kind, miss_class, until) = cached.expect("verdict present");
+                        wake = wake.min(until);
+                        Some((kind, miss_class))
+                    }
+                };
+                ff_blocked[side].push(verdict);
+            }
+        }
+
+        // Completion events bound the window too.
+        if let Some(due) = self.completions.next_due_before(wake) {
+            wake = due;
+        }
+        let skip = wake.saturating_sub(cycle);
+        if skip < 2 {
+            self.scratch.ff_blocked = ff_blocked;
+            return None;
+        }
+
+        // Replay the accounting of `skip` idle cycles exactly. Slot-waste
+        // attribution rotates with the round-robin ordering; rotation r is
+        // used ceil/floor(skip / n) times depending on its offset from the
+        // current start.
+        let n_threads = self.threads.len();
+        let start = self.arbiter.next_start();
+        for (side, slots_total) in [(0usize, self.config.ap_units), (1, self.config.ep_units)] {
+            let entries = &ff_blocked[side];
+            let slots = if side == 0 {
+                &mut self.ap_slots
+            } else {
+                &mut self.ep_slots
+            };
+            let blocked_count = entries.iter().flatten().count();
+            if blocked_count == 0 {
+                slots.record_n(SlotUse::WrongPathOrIdle, slots_total as u64 * skip);
+                continue;
+            }
+            for rot in 0..n_threads {
+                // Cycles in the window whose ordering starts at thread
+                // `(start + rot) % n_threads`.
+                let uses =
+                    skip / n_threads as u64 + u64::from((rot as u64) < skip % n_threads as u64);
+                if uses == 0 {
+                    continue;
+                }
+                let first = (start + rot) % n_threads;
+                // The blocked list in thread-priority order for this
+                // rotation; wasted slots round-robin over it.
+                let mut blocked_kinds = [SlotUse::Other; MAX_FF_THREADS];
+                let mut len = 0usize;
+                for i in 0..n_threads {
+                    if let Some((kind, _)) = entries[(first + i) % n_threads] {
+                        blocked_kinds[len] = kind;
+                        len += 1;
+                    }
+                }
+                debug_assert_eq!(len, blocked_count);
+                for slot in 0..slots_total {
+                    slots.record_n(blocked_kinds[slot % len], uses);
+                }
+            }
+            // Perceived-latency stalls accrue once per blocked head per
+            // cycle, independent of rotation.
+            for &(_, miss_class) in entries.iter().flatten() {
+                match miss_class {
+                    Some(RegClass::Fp) => self.perceived.fp_stall_cycles += skip,
+                    Some(RegClass::Int) => self.perceived.int_stall_cycles += skip,
+                    None => {}
+                }
+            }
+        }
+
+        self.arbiter.advance(skip);
+        self.completions.skip_to(wake);
+        self.cycle = wake;
+        self.scratch.ff_blocked = ff_blocked;
+        Some(skip)
     }
 
     /// A snapshot of the statistics accumulated so far.
@@ -257,12 +473,17 @@ impl Processor {
     // ------------------------------------------------------------------
 
     fn process_completions(&mut self, cycle: u64) {
-        while let Some(Reverse(ev)) = self.completions.peek().copied() {
-            if ev.cycle > cycle {
-                break;
-            }
-            self.completions.pop();
-            let thread = &mut self.threads[ev.thread];
+        // Destructured so the drain closure can borrow the thread array
+        // while the wheel is mutably borrowed. Delivery order within a
+        // cycle does not affect architectural state: each event touches
+        // only its own ROB entry and its own branch bookkeeping.
+        let Processor {
+            completions,
+            threads,
+            ..
+        } = self;
+        completions.drain_due(cycle, |ev| {
+            let thread = &mut threads[ev.thread];
             if thread.rob.contains(ev.rob) {
                 thread.rob.mark_completed(ev.rob);
             }
@@ -272,22 +493,37 @@ impl Processor {
                     thread.blocked_on_mispredict = None;
                 }
             }
-        }
+        });
     }
 
     fn retire(&mut self) {
         let width = self.config.retire_width;
         for thread in &mut self.threads {
-            let retired = thread.rob.retire(width);
-            for payload in &retired {
+            // Borrow the ROB and the structures the retirement side-effects
+            // touch disjointly, so retire_with can stream payloads without
+            // collecting them into a Vec first.
+            let ThreadContext {
+                rob,
+                ap_regs,
+                ep_regs,
+                saq,
+                retired,
+                ..
+            } = thread;
+            let n = rob.retire_with(width, |payload| {
                 if let Some((class, phys)) = payload.prev_dest {
-                    thread.regs_mut(class).release(phys);
+                    match class {
+                        RegClass::Int => ap_regs.release(phys),
+                        RegClass::Fp => ep_regs.release(phys),
+                    }
                 }
                 if payload.is_store {
-                    thread.pop_oldest_store();
+                    // Stores graduate in SAQ order; drop the oldest entry.
+                    let popped = saq.pop();
+                    debug_assert!(popped.is_some(), "store graduated without a SAQ entry");
                 }
-            }
-            thread.retired += retired.len() as u64;
+            });
+            *retired += n as u64;
         }
     }
 
@@ -297,18 +533,34 @@ impl Processor {
             Unit::Ep => self.config.ep_units,
         };
         let mut used = 0usize;
-        let mut blocked: Vec<SlotUse> = Vec::new();
+        let mut blocked = std::mem::take(&mut self.scratch.blocked);
+        blocked.clear();
 
         'threads: for &t in order {
             loop {
                 if used >= slots_total {
                     break 'threads;
                 }
-                let probe = {
+                let (probe, head_seq) = {
                     let thread = &self.threads[t];
                     match thread.window(unit).front() {
                         None => break,
-                        Some(head) => probe_head(thread, head, cycle),
+                        Some(head) => {
+                            // Replay a cached stall verdict when the same
+                            // head is still provably blocked, skipping the
+                            // register-file reads; otherwise probe afresh.
+                            let probe = match thread.head_block(unit) {
+                                Some(hb) if hb.seq == head.seq && cycle < hb.until => {
+                                    HeadProbe::Blocked {
+                                        kind: hb.kind,
+                                        miss_class: hb.miss_class,
+                                        until: Some(hb.until),
+                                    }
+                                }
+                                _ => probe_head(thread, head, cycle),
+                            };
+                            (probe, head.seq)
+                        }
                     }
                 };
                 match probe {
@@ -319,7 +571,22 @@ impl Processor {
                             break;
                         }
                     },
-                    HeadProbe::Blocked { kind, miss_class } => {
+                    HeadProbe::Blocked {
+                        kind,
+                        miss_class,
+                        until,
+                    } => {
+                        // Remember the verdict when it stays valid beyond
+                        // the next cycle (a one-cycle bound re-probes
+                        // anyway).
+                        *self.threads[t].head_block_mut(unit) = until
+                            .filter(|&u| u > cycle + 1)
+                            .map(|u| crate::thread::HeadBlock {
+                                seq: head_seq,
+                                until: u,
+                                kind,
+                                miss_class,
+                            });
                         // Perceived-latency accounting: the head cannot issue
                         // although an issue slot is free, because it waits on
                         // data from a load that missed.
@@ -353,16 +620,16 @@ impl Processor {
                 slots.record(blocked[i % blocked.len()]);
             }
         }
+        self.scratch.blocked = blocked;
     }
 
     /// Issues the head instruction of thread `t`'s window for `unit`.
     /// Returns `Err` with a stall classification when a structural hazard
     /// (cache port, MSHR, functional unit) prevents issue after all.
     fn issue_head(&mut self, t: usize, unit: Unit, cycle: u64) -> Result<(), SlotUse> {
-        let head: InflightInst = self.threads[t]
+        let head: InflightInst = *self.threads[t]
             .window(unit)
             .front()
-            .cloned()
             .expect("issue_head called with an empty window");
 
         // Memory access first: it may be rejected for structural reasons, in
@@ -430,12 +697,14 @@ impl Processor {
         } else {
             None
         };
-        self.completions.push(Reverse(CompletionEvent {
-            cycle: completion,
-            thread: t,
-            rob: head.rob,
-            branch_seq,
-        }));
+        self.completions.push(
+            completion,
+            CompletionEvent {
+                thread: t,
+                rob: head.rob,
+                branch_seq,
+            },
+        );
         self.threads[t].window_mut(unit).pop();
         Ok(())
     }
@@ -539,19 +808,25 @@ impl Processor {
 
     fn fetch(&mut self, cycle: u64) {
         let max_unresolved = self.config.max_unresolved_branches;
-        let pending: Vec<usize> = self.threads.iter().map(|t| t.pending_dispatch()).collect();
-        let eligible: Vec<bool> = self
-            .threads
-            .iter()
-            .map(|t| t.fetch_eligible(max_unresolved))
-            .collect();
-        let picks = icount_pick(
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        let mut eligible = std::mem::take(&mut self.scratch.eligible);
+        let mut picks = std::mem::take(&mut self.scratch.picks);
+        pending.clear();
+        eligible.clear();
+        pending.extend(self.threads.iter().map(ThreadContext::pending_dispatch));
+        eligible.extend(
+            self.threads
+                .iter()
+                .map(|t| t.fetch_eligible(max_unresolved)),
+        );
+        icount_pick_into(
             &pending,
             &eligible,
             self.config.fetch_threads_per_cycle,
             cycle as usize,
+            &mut picks,
         );
-        for t in picks {
+        for &t in &picks {
             let thread = &mut self.threads[t];
             for _ in 0..self.config.fetch_width {
                 if thread.fetch_buffer.len() >= thread.fetch_buffer_capacity {
@@ -593,6 +868,9 @@ impl Processor {
                 }
             }
         }
+        self.scratch.pending = pending;
+        self.scratch.eligible = eligible;
+        self.scratch.picks = picks;
     }
 }
 
@@ -603,7 +881,8 @@ fn probe_head(thread: &ThreadContext, head: &InflightInst, cycle: u64) -> HeadPr
         if !src.gates_issue {
             continue;
         }
-        if !thread.regs(src.class).is_ready(src.phys, cycle) {
+        let ready_cycle = thread.regs(src.class).ready_cycle(src.phys);
+        if ready_cycle > cycle {
             let flags = thread.flags(src.class);
             let from_load = flags.is_from_load(src.phys);
             let missed = flags.is_load_miss(src.phys);
@@ -614,6 +893,12 @@ fn probe_head(thread: &ThreadContext, head: &InflightInst, cycle: u64) -> HeadPr
                     SlotUse::WaitFu
                 },
                 miss_class: if missed { Some(src.class) } else { None },
+                // A finite ready cycle never moves once recorded (the
+                // producer has issued, and the physical register cannot be
+                // re-renamed while this instruction still references it),
+                // so the head is provably blocked for this exact reason
+                // until then.
+                until: (ready_cycle != u64::MAX).then_some(ready_cycle),
             };
         }
     }
@@ -623,6 +908,8 @@ fn probe_head(thread: &ThreadContext, head: &InflightInst, cycle: u64) -> HeadPr
             return HeadProbe::Blocked {
                 kind: SlotUse::Other,
                 miss_class: None,
+                // Cleared by a store graduating: not known in advance.
+                until: None,
             };
         }
     }

@@ -86,8 +86,12 @@ impl UnitSlots {
 
     /// Records `n` slots of the given kind.
     pub fn record_n(&mut self, kind: SlotUse, n: u64) {
-        for _ in 0..n {
-            self.record(kind);
+        match kind {
+            SlotUse::Useful => self.useful += n,
+            SlotUse::WaitMemory => self.wait_memory += n,
+            SlotUse::WaitFu => self.wait_fu += n,
+            SlotUse::WrongPathOrIdle => self.wrong_path_or_idle += n,
+            SlotUse::Other => self.other += n,
         }
     }
 

@@ -34,7 +34,11 @@ pub(crate) struct DestOperand {
 
 /// A dispatched, renamed, in-flight instruction waiting in an in-order
 /// issue window (the AP window or the EP instruction queue).
-#[derive(Debug, Clone)]
+///
+/// `Copy` on purpose: the issue stage reads the window head by value every
+/// cycle, and a plain bitwise copy keeps that path allocation- and
+/// clone-free.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct InflightInst {
     /// Per-thread program-order sequence number (assigned at fetch).
     pub seq: u64,
@@ -69,6 +73,23 @@ pub(crate) struct SaqEntry {
 pub(crate) struct FetchedInst {
     pub seq: u64,
     pub inst: Instruction,
+}
+
+/// A memoised "this window head cannot issue" verdict, valid for every
+/// cycle strictly before `until` while the same head (identified by its
+/// sequence number) is in place. Lets the issue stage replay the stall
+/// bookkeeping for long-blocked heads (e.g. an L2 miss consumer) without
+/// re-reading register files every cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeadBlock {
+    /// Sequence number of the head instruction this verdict describes.
+    pub seq: u64,
+    /// Valid for cycles `< until`; re-probe from `until` on.
+    pub until: u64,
+    /// The stall classification to replay.
+    pub kind: crate::SlotUse,
+    /// The perceived-latency class to replay (missed-load operands only).
+    pub miss_class: Option<RegClass>,
 }
 
 /// Per-physical-register producer metadata used for stall classification
@@ -124,6 +145,10 @@ pub(crate) struct ThreadContext {
     pub iq: BoundedQueue<InflightInst>,
     /// The store address queue.
     pub saq: BoundedQueue<SaqEntry>,
+    /// Cached stall verdicts for the AP window / IQ heads (see
+    /// [`HeadBlock`]).
+    pub ap_head_block: Option<HeadBlock>,
+    pub iq_head_block: Option<HeadBlock>,
     pub rob: Rob<RobPayload>,
     pub predictor: BranchPredictor,
     /// Next program-order sequence number to assign at fetch.
@@ -171,6 +196,8 @@ impl ThreadContext {
             ap_window: BoundedQueue::new(config.effective_ap_window_capacity()),
             iq: BoundedQueue::new(config.effective_iq_capacity()),
             saq: BoundedQueue::new(config.effective_saq_capacity()),
+            ap_head_block: None,
+            iq_head_block: None,
             rob: Rob::new(config.effective_rob_capacity()),
             predictor: BranchPredictor::new(config.bht_entries),
             next_seq: 0,
@@ -194,6 +221,22 @@ impl ThreadContext {
         match unit {
             Unit::Ap => &mut self.ap_window,
             Unit::Ep => &mut self.iq,
+        }
+    }
+
+    /// The cached head-stall verdict for the given unit.
+    pub fn head_block(&self, unit: Unit) -> Option<HeadBlock> {
+        match unit {
+            Unit::Ap => self.ap_head_block,
+            Unit::Ep => self.iq_head_block,
+        }
+    }
+
+    /// The cached head-stall verdict for the given unit (mutable).
+    pub fn head_block_mut(&mut self, unit: Unit) -> &mut Option<HeadBlock> {
+        match unit {
+            Unit::Ap => &mut self.ap_head_block,
+            Unit::Ep => &mut self.iq_head_block,
         }
     }
 
@@ -273,12 +316,5 @@ impl ThreadContext {
                 return;
             }
         }
-    }
-
-    /// Removes the oldest store from the SAQ (called when a store
-    /// graduates; stores graduate in SAQ order).
-    pub fn pop_oldest_store(&mut self) {
-        let popped = self.saq.pop();
-        debug_assert!(popped.is_some(), "store graduated without a SAQ entry");
     }
 }

@@ -70,12 +70,23 @@ impl Line {
 /// Data values are never stored — the simulator is timing-only — but tags,
 /// validity, dirtiness and LRU ordering are modelled exactly so that miss
 /// ratios and write-back traffic are faithful.
+///
+/// The geometry arithmetic is precomputed at construction: line and set
+/// indexing are shift/mask operations when the set count is a power of two
+/// (every paper configuration), falling back to modulo/division only for
+/// exotic geometries. Lines live in one flat array (`set * associativity`
+/// stride) so a set probe touches a single contiguous cache line of host
+/// memory.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened: set `s` occupies
+    /// `lines[s * associativity .. (s + 1) * associativity]`.
+    lines: Vec<Line>,
     num_sets: usize,
     line_shift: u32,
+    /// `log2(num_sets)` when the set count is a power of two.
+    set_shift: Option<u32>,
     stats: CacheStats,
     access_counter: u64,
 }
@@ -94,9 +105,12 @@ impl Cache {
         let num_sets = config.num_sets();
         Cache {
             config,
-            sets: vec![vec![Line::empty(); config.associativity]; num_sets],
+            lines: vec![Line::empty(); num_sets * config.associativity],
             num_sets,
             line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: num_sets
+                .is_power_of_two()
+                .then(|| num_sets.trailing_zeros()),
             stats: CacheStats::default(),
             access_counter: 0,
         }
@@ -121,18 +135,30 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u64) -> usize {
-        ((addr >> self.line_shift) as usize) % self.num_sets
+        match self.set_shift {
+            Some(_) => ((addr >> self.line_shift) as usize) & (self.num_sets - 1),
+            None => ((addr >> self.line_shift) as usize) % self.num_sets,
+        }
     }
 
     fn tag(&self, addr: u64) -> u64 {
-        (addr >> self.line_shift) / self.num_sets as u64
+        match self.set_shift {
+            Some(s) => addr >> (self.line_shift + s),
+            None => (addr >> self.line_shift) / self.num_sets as u64,
+        }
+    }
+
+    /// The flat-index range of the ways of one set.
+    fn set_range(&self, set_idx: usize) -> std::ops::Range<usize> {
+        let assoc = self.config.associativity;
+        set_idx * assoc..(set_idx + 1) * assoc
     }
 
     /// Looks up `addr` without modifying any state (no LRU update, no fill).
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
-        let set = &self.sets[self.set_index(addr)];
         let tag = self.tag(addr);
+        let set = &self.lines[self.set_range(self.set_index(addr))];
         set.iter().any(|l| l.valid && l.tag == tag)
     }
 
@@ -148,9 +174,23 @@ impl Cache {
         let tag = self.tag(addr);
         let num_sets = self.num_sets as u64;
         let line_shift = self.line_shift;
-        let set = &mut self.sets[set_idx];
+        let range = self.set_range(set_idx);
+        let set = &mut self.lines[range];
 
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        // Hit path: direct-mapped caches (the paper's L1D) have exactly one
+        // candidate way, so the tag compare is branch-only; wider caches
+        // scan the (small) set.
+        let way = if set.len() == 1 {
+            if set[0].valid && set[0].tag == tag {
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            set.iter().position(|l| l.valid && l.tag == tag)
+        };
+        if let Some(w) = way {
+            let line = &mut set[w];
             line.last_use = stamp;
             if is_store {
                 line.dirty = true;
@@ -162,20 +202,24 @@ impl Cache {
             };
         }
 
-        // Miss: pick a victim — an invalid way if there is one, otherwise LRU.
+        // Miss: pick a victim — an invalid way if there is one, otherwise the
+        // way with the oldest (smallest) monotonic access stamp, i.e. LRU.
         self.stats.misses += 1;
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .find(|(_, l)| !l.valid)
-            .map(|(i, _)| i)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("associativity is non-zero")
-            });
+        let victim_idx = if set.len() == 1 {
+            0
+        } else {
+            set.iter()
+                .enumerate()
+                .find(|(_, l)| !l.valid)
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| {
+                    set.iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.last_use)
+                        .map(|(i, _)| i)
+                        .expect("associativity is non-zero")
+                })
+        };
         let victim = &mut set[victim_idx];
         let evicted_dirty_line = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
@@ -199,10 +243,8 @@ impl Cache {
 
     /// Invalidates every line and clears the statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                *line = Line::empty();
-            }
+        for line in &mut self.lines {
+            *line = Line::empty();
         }
         self.stats = CacheStats::default();
         self.access_counter = 0;

@@ -4,8 +4,46 @@
 //! cache lines may be outstanding at once, and secondary misses to a line
 //! that is already being fetched merge into the existing entry instead of
 //! generating new L2/bus traffic.
+//!
+//! Latency-scaled configurations replicate MSHRs aggressively (a 16-thread
+//! machine at a 256-cycle L2 holds hundreds of outstanding lines), so the
+//! file avoids O(occupancy) work per cycle: entries sit in a `VecDeque` in
+//! allocation order — fill completions are monotone in that order because
+//! the L1–L2 bus grants transfers FIFO ([`crate::Bus::schedule_transfer`])
+//! — making [`MshrFile::retire_completed`] a pop-from-the-front loop, and a
+//! hash index over line addresses makes lookups and merges O(1).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
+
+/// A multiply-shift hasher for line addresses (the only key type the MSHR
+/// index uses). Far cheaper than the std SipHash and perfectly adequate:
+/// keys are not attacker-controlled and collisions only cost a probe.
+#[derive(Debug, Default)]
+pub struct LineAddrHasher(u64);
+
+impl Hasher for LineAddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only fixed-width integer keys are hashed; this path is unused.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiplicative hash: one multiply, good avalanche in the
+        // high bits (which HashMap uses after its own mask).
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineIndex = HashMap<u64, u64, BuildHasherDefault<LineAddrHasher>>;
 
 /// The outcome of presenting a miss to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +72,11 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: Vec<Entry>,
+    /// Outstanding entries in allocation order. Fill completions are
+    /// monotone in this order (FIFO bus), so releases pop from the front.
+    entries: VecDeque<Entry>,
+    /// line address → pending ready cycle, for O(1) lookups and merges.
+    index: LineIndex,
     /// Peak simultaneous occupancy observed (useful for ablation studies).
     peak_occupancy: usize,
     /// Number of merged (secondary) misses.
@@ -54,7 +96,8 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file must have at least one entry");
         MshrFile {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            entries: VecDeque::with_capacity(capacity),
+            index: LineIndex::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
             peak_occupancy: 0,
             merges: 0,
             full_events: 0,
@@ -101,10 +144,7 @@ impl MshrFile {
     /// outstanding, without counting a merge.
     #[must_use]
     pub fn lookup(&self, line_addr: u64) -> Option<u64> {
-        self.entries
-            .iter()
-            .find(|e| e.line_addr == line_addr)
-            .map(|e| e.ready_cycle)
+        self.index.get(&line_addr).copied()
     }
 
     /// Records a secondary (merged) miss on an outstanding line.
@@ -119,20 +159,19 @@ impl MshrFile {
     /// [`MshrFile::set_ready_cycle`] once it has scheduled the fill);
     /// otherwise the file is full.
     pub fn lookup_or_allocate(&mut self, line_addr: u64) -> MshrOutcome {
-        if let Some(e) = self.entries.iter().find(|e| e.line_addr == line_addr) {
+        if let Some(&ready_cycle) = self.index.get(&line_addr) {
             self.merges += 1;
-            return MshrOutcome::Merged {
-                ready_cycle: e.ready_cycle,
-            };
+            return MshrOutcome::Merged { ready_cycle };
         }
         if self.is_full() {
             self.full_events += 1;
             return MshrOutcome::Full;
         }
-        self.entries.push(Entry {
+        self.entries.push_back(Entry {
             line_addr,
             ready_cycle: u64::MAX,
         });
+        self.index.insert(line_addr, u64::MAX);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::Allocated
     }
@@ -143,22 +182,41 @@ impl MshrFile {
     ///
     /// Panics if no entry for `line_addr` exists (allocate first).
     pub fn set_ready_cycle(&mut self, line_addr: u64, ready_cycle: u64) {
+        let slot = self
+            .index
+            .get_mut(&line_addr)
+            .expect("set_ready_cycle called for a line with no MSHR entry");
+        *slot = ready_cycle;
+        // The deque entry is almost always the most recent allocation; walk
+        // from the back for the generic case.
         let entry = self
             .entries
             .iter_mut()
+            .rev()
             .find(|e| e.line_addr == line_addr)
-            .expect("set_ready_cycle called for a line with no MSHR entry");
+            .expect("index and release queue agree on outstanding lines");
         entry.ready_cycle = ready_cycle;
     }
 
     /// Releases every entry whose fill has completed by `cycle`.
+    ///
+    /// Entries are released strictly in allocation order: the FIFO bus
+    /// guarantees fills complete in the order they were scheduled, so the
+    /// first still-pending entry bounds everything behind it.
     pub fn retire_completed(&mut self, cycle: u64) {
-        self.entries.retain(|e| e.ready_cycle > cycle);
+        while let Some(front) = self.entries.front() {
+            if front.ready_cycle > cycle {
+                break;
+            }
+            let e = self.entries.pop_front().expect("front exists");
+            self.index.remove(&e.line_addr);
+        }
     }
 
     /// Clears all entries and statistics.
     pub fn reset(&mut self) {
         self.entries.clear();
+        self.index.clear();
         self.peak_occupancy = 0;
         self.merges = 0;
         self.full_events = 0;

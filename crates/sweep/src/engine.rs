@@ -1,7 +1,9 @@
 //! The sweep engine: grid → cells → pool (→ cache) → report.
 
+use std::time::Instant;
+
 use crate::cache::{CacheMode, CacheStats, ResultCache};
-use crate::{pool, RunRecord, SweepGrid, SweepReport};
+use crate::{pool, CellPerf, RunRecord, SweepGrid, SweepReport};
 
 /// Executes [`SweepGrid`]s on a work-stealing pool with optional caching.
 #[derive(Debug)]
@@ -95,6 +97,7 @@ impl SweepEngine {
 
         let records = pool::run_indexed(&jobs, self.workers, |_, (gi, cell)| {
             let stats = &stats[*gi];
+            let cell_started = Instant::now();
             let results = match &cache {
                 Some(cache) => cache.run_cached(&cell.scenario, stats),
                 None => {
@@ -103,6 +106,7 @@ impl SweepEngine {
                     r
                 }
             };
+            let perf = CellPerf::new(&results, cell_started.elapsed().as_secs_f64());
             RunRecord {
                 cell: cell.index,
                 grid: grids[*gi].name.clone(),
@@ -111,20 +115,29 @@ impl SweepEngine {
                 key: cell.scenario.cache_key_hex(),
                 scenario: cell.scenario.clone(),
                 results,
+                perf,
             }
         });
-
         // Split the flat record list back into per-grid reports. Jobs were
         // concatenated in grid order, and run_indexed preserves input order.
         let mut records = records.into_iter();
         grids
             .iter()
             .zip(&stats)
-            .map(|(grid, stats)| SweepReport {
-                grid: grid.name.clone(),
-                records: records.by_ref().take(grid.len()).collect(),
-                cache_hits: stats.hits(),
-                cache_misses: stats.misses(),
+            .map(|(grid, stats)| {
+                let records: Vec<RunRecord> = records.by_ref().take(grid.len()).collect();
+                // Per-grid compute seconds: the sum of this grid's own cell
+                // wall times. Additive across grids and across merges (the
+                // engine wall clock is shared by every grid in the batch and
+                // would double-count).
+                let wall_secs = records.iter().map(|r| r.perf.wall_secs).sum();
+                SweepReport {
+                    grid: grid.name.clone(),
+                    records,
+                    cache_hits: stats.hits(),
+                    cache_misses: stats.misses(),
+                    wall_secs,
+                }
             })
             .collect()
     }

@@ -9,8 +9,10 @@ use std::path::Path;
 
 use crate::{RunRecord, SweepReport};
 
-/// The metric columns every CSV export carries, in order.
-pub const CSV_METRICS: [&str; 10] = [
+/// The metric columns every CSV export carries, in order. The last two are
+/// host-throughput telemetry from [`RunRecord::perf`] (machine-dependent,
+/// excluded from record equality but exported for perf tracking).
+pub const CSV_METRICS: [&str; 12] = [
     "ipc",
     "cycles",
     "instructions",
@@ -21,9 +23,11 @@ pub const CSV_METRICS: [&str; 10] = [
     "store_miss_ratio",
     "bus_utilization",
     "branch_accuracy",
+    "instructions_per_sec",
+    "sim_cycles_per_sec",
 ];
 
-fn metric_values(record: &RunRecord) -> [String; 10] {
+fn metric_values(record: &RunRecord) -> [String; 12] {
     let r = &record.results;
     [
         format!("{:?}", r.ipc()),
@@ -36,6 +40,8 @@ fn metric_values(record: &RunRecord) -> [String; 10] {
         format!("{:?}", r.store_miss_ratio()),
         format!("{:?}", r.bus_utilization),
         format!("{:?}", r.branch_accuracy),
+        format!("{:.1}", record.perf.instructions_per_sec),
+        format!("{:.1}", record.perf.sim_cycles_per_sec),
     ]
 }
 
@@ -141,7 +147,8 @@ mod tests {
         assert_eq!(
             header,
             "cell,workload,l2_latency,ipc,cycles,instructions,perceived,perceived_fp,\
-             perceived_int,load_miss_ratio,store_miss_ratio,bus_utilization,branch_accuracy"
+             perceived_int,load_miss_ratio,store_miss_ratio,bus_utilization,branch_accuracy,\
+             instructions_per_sec,sim_cycles_per_sec"
         );
         let rows: Vec<&str> = lines.collect();
         assert_eq!(rows.len(), 2);

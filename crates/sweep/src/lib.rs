@@ -53,7 +53,7 @@ pub mod scenario;
 pub use cache::{CacheMode, CacheStats, ResultCache};
 pub use engine::SweepEngine;
 pub use grid::{Axis, Cell, SeedMode, Setting, SweepGrid};
-pub use record::{RunRecord, SweepReport};
+pub use record::{CellPerf, RunRecord, SweepReport};
 pub use scenario::{Scenario, WorkloadSpec};
 
 /// Bumped whenever the cache key derivation or the serialized record layout

@@ -4,8 +4,19 @@
 //! simulates far more work per instruction than a 1-thread, 1-cycle cell),
 //! so static partitioning leaves workers idle. Here each worker owns a
 //! contiguous range of the input; when it runs dry it steals the upper half
-//! of the largest remaining range. Ranges are tiny (two `usize`s under a
-//! mutex), so contention is negligible next to simulation cost.
+//! of the largest remaining range.
+//!
+//! Two properties keep synchronisation off the critical path (in the spirit
+//! of deterministic chunked work distribution à la Bobpp, arXiv:1406.2844):
+//!
+//! * **chunked claims** — a worker pops a chunk of up to 1/8 of its
+//!   remaining span per lock acquisition (not a single index), and a thief
+//!   takes half the victim's span in one acquisition, so lock traffic is
+//!   O(log n) per worker rather than O(n);
+//! * **slab output** — every result is written into a pre-sized, per-cell
+//!   slot (`Mutex<Option<O>>`, uncontended because exactly one worker ever
+//!   touches a given cell), so there is no shared append vector to fight
+//!   over and no final sort: outputs are already in input order.
 //!
 //! Determinism: the pool only affects *which worker* computes each output,
 //! never the output itself — outputs are returned in input order, and each
@@ -26,6 +37,11 @@ impl Span {
         self.hi - self.lo
     }
 }
+
+/// How much of its remaining span a worker claims per lock acquisition
+/// (`max(1, remaining / CHUNK_DIVISOR)`). Small enough to keep spans
+/// stealable, large enough to amortise locking.
+const CHUNK_DIVISOR: usize = 8;
 
 /// Applies `f` to every item, running up to `workers` jobs concurrently on a
 /// work-stealing pool, and returns the outputs in input order.
@@ -49,7 +65,7 @@ where
     }
 
     // Initial even partition; spans are then mutated by their owner (pop
-    // from the front) and by thieves (split off the back half).
+    // chunks from the front) and by thieves (split off the back half).
     let spans: Vec<Mutex<Span>> = (0..workers)
         .map(|w| {
             let lo = w * n / workers;
@@ -58,32 +74,44 @@ where
         })
         .collect();
 
-    let collected: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(n));
+    // Pre-sized output slab, one slot per cell. Each slot is written exactly
+    // once, so the per-slot locks are never contended; they exist to make
+    // the scatter safe without `unsafe`.
+    let slab: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let f = &f;
     let spans = &spans;
-    let collected_ref = &collected;
+    let slab = &slab;
 
     std::thread::scope(|scope| {
         for me in 0..workers {
             scope.spawn(move || {
-                let mut local: Vec<(usize, O)> = Vec::new();
                 loop {
-                    // Pop the next index from my own span.
-                    let idx = {
+                    // Claim the next chunk from my own span: one lock
+                    // acquisition hands out up to 1/CHUNK_DIVISOR of what
+                    // remains (always at least one index).
+                    let chunk = {
                         let mut span = spans[me].lock().expect("span lock");
-                        if span.lo < span.hi {
-                            let i = span.lo;
-                            span.lo += 1;
-                            Some(i)
+                        let remaining = span.len();
+                        if remaining > 0 {
+                            let take = (remaining / CHUNK_DIVISOR).max(1);
+                            let lo = span.lo;
+                            span.lo += take;
+                            Some(Span { lo, hi: lo + take })
                         } else {
                             None
                         }
                     };
-                    if let Some(i) = idx {
-                        local.push((i, f(i, &items[i])));
+                    if let Some(chunk) = chunk {
+                        for i in chunk.lo..chunk.hi {
+                            let out = f(i, &items[i]);
+                            let mut slot = slab[i].lock().expect("slab slot lock");
+                            debug_assert!(slot.is_none(), "cell {i} computed twice");
+                            *slot = Some(out);
+                        }
                         continue;
                     }
-                    // Steal the upper half of the largest remaining span.
+                    // Steal the upper half of the largest remaining span,
+                    // in a single lock acquisition on the victim.
                     let mut best: Option<(usize, usize)> = None; // (victim, len)
                     for (v, span) in spans.iter().enumerate() {
                         if v == me {
@@ -117,15 +145,19 @@ where
                         *mine = stolen;
                     }
                 }
-                collected_ref.lock().expect("collect lock").extend(local);
             });
         }
     });
 
-    let mut pairs = collected.into_inner().expect("collect lock");
-    assert_eq!(pairs.len(), n, "every job produces exactly one output");
-    pairs.sort_unstable_by_key(|(i, _)| *i);
-    pairs.into_iter().map(|(_, o)| o).collect()
+    slab.iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.lock()
+                .expect("slab slot lock")
+                .take()
+                .unwrap_or_else(|| panic!("cell {i} produced no output"))
+        })
+        .collect()
 }
 
 /// Order-preserving parallel map (the classic harness entry point).
@@ -177,6 +209,19 @@ mod tests {
             x + 1
         });
         assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_claims_cover_every_index() {
+        // More items than workers by a wide margin exercises repeated
+        // chunked pops (remaining/8 shrinking to 1) and steals.
+        let n = 1013; // prime: uneven partitions everywhere
+        let items: Vec<usize> = (0..n).collect();
+        let out = run_indexed(&items, 5, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..n).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

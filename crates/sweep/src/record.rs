@@ -5,14 +5,48 @@ use serde::{Deserialize, Serialize};
 
 use crate::Scenario;
 
+/// Wall-clock throughput telemetry for one simulated (or replayed) cell.
+///
+/// Unlike `results`, these numbers depend on the host machine, the worker
+/// count and the cache state; they are exported for performance tracking
+/// but deliberately excluded from record equality, which covers only the
+/// deterministic simulation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellPerf {
+    /// Wall-clock seconds spent producing this cell's results (simulation,
+    /// or cache replay on a hit).
+    pub wall_secs: f64,
+    /// Graduated instructions per wall-clock second.
+    pub instructions_per_sec: f64,
+    /// Simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+}
+
+impl CellPerf {
+    /// Derives the throughput rates for `results` produced in `wall_secs`.
+    #[must_use]
+    pub fn new(results: &SimResults, wall_secs: f64) -> Self {
+        let denom = wall_secs.max(1e-12);
+        CellPerf {
+            wall_secs,
+            instructions_per_sec: results.instructions as f64 / denom,
+            sim_cycles_per_sec: results.cycles as f64 / denom,
+        }
+    }
+}
+
 /// The result of one sweep cell, with full provenance: the record alone is
 /// enough to reproduce the simulation (`scenario`) and to place it in the
 /// grid (`labels`).
 ///
-/// Records deliberately exclude anything scheduling-dependent (wall time,
-/// worker id, cache hit/miss), so a grid's records are bit-identical across
-/// worker counts and across cached/uncached runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Records deliberately exclude anything scheduling-dependent from their
+/// *identity*: both equality and the canonical JSON form ignore `perf`
+/// (wall time is machine- and scheduling-dependent), so a grid's records —
+/// in memory and on disk — stay bit-identical across worker counts and
+/// across cached/uncached runs. Per-cell throughput is still exported via
+/// the CSV telemetry columns (see `export::CSV_METRICS`) and the in-memory
+/// field.
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Cell index in grid order.
     pub cell: usize,
@@ -28,6 +62,21 @@ pub struct RunRecord {
     pub scenario: Scenario,
     /// The simulation results.
     pub results: SimResults,
+    /// Host throughput while producing this cell (not part of equality).
+    pub perf: CellPerf,
+}
+
+impl PartialEq for RunRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // `perf` intentionally omitted: see the struct docs.
+        self.cell == other.cell
+            && self.grid == other.grid
+            && self.workload == other.workload
+            && self.labels == other.labels
+            && self.key == other.key
+            && self.scenario == other.scenario
+            && self.results == other.results
+    }
 }
 
 impl RunRecord {
@@ -41,8 +90,48 @@ impl RunRecord {
     }
 }
 
+// Hand-written (not derived) so the canonical JSON form excludes `perf`:
+// exported record files must stay byte-identical across worker counts,
+// cache state and host machines.
+impl Serialize for RunRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cell".to_string(), self.cell.to_value()),
+            ("grid".to_string(), self.grid.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("labels".to_string(), self.labels.to_value()),
+            ("key".to_string(), self.key.to_value()),
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("results".to_string(), self.results.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RunRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(RunRecord {
+            cell: Deserialize::from_value(v.field("cell")?)?,
+            grid: Deserialize::from_value(v.field("grid")?)?,
+            workload: Deserialize::from_value(v.field("workload")?)?,
+            labels: Deserialize::from_value(v.field("labels")?)?,
+            key: Deserialize::from_value(v.field("key")?)?,
+            scenario: Deserialize::from_value(v.field("scenario")?)?,
+            results: Deserialize::from_value(v.field("results")?)?,
+            // Telemetry is not persisted in the canonical form.
+            perf: CellPerf {
+                wall_secs: 0.0,
+                instructions_per_sec: 0.0,
+                sim_cycles_per_sec: 0.0,
+            },
+        })
+    }
+}
+
 /// Everything a sweep produced: records in grid order plus cache telemetry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The JSON form additionally carries the derived `instructions_per_sec`
+/// and `sim_cycles_per_sec` aggregate rates (computed, not stored).
+#[derive(Debug, Clone)]
 pub struct SweepReport {
     /// Grid name.
     pub grid: String,
@@ -52,9 +141,41 @@ pub struct SweepReport {
     pub cache_hits: usize,
     /// Cells that had to simulate.
     pub cache_misses: usize,
+    /// Aggregate compute seconds for this report's cells: the sum of the
+    /// per-cell wall times. Equals wall-clock time for a serial run and is
+    /// additive across grids and merges (a shared engine wall clock would
+    /// double-count when several grids share one pool). Not part of
+    /// equality, like [`RunRecord::perf`].
+    pub wall_secs: f64,
+}
+
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `wall_secs` intentionally omitted: see the field docs.
+        self.grid == other.grid
+            && self.records == other.records
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+    }
 }
 
 impl SweepReport {
+    /// Total graduated instructions per compute second across the report
+    /// (total work over [`SweepReport::wall_secs`]) — a per-core
+    /// throughput figure that is stable across worker counts.
+    #[must_use]
+    pub fn instructions_per_sec(&self) -> f64 {
+        let insts: u64 = self.records.iter().map(|r| r.results.instructions).sum();
+        insts as f64 / self.wall_secs.max(1e-12)
+    }
+
+    /// Total simulated cycles per compute second across the report.
+    #[must_use]
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let cycles: u64 = self.records.iter().map(|r| r.results.cycles).sum();
+        cycles as f64 / self.wall_secs.max(1e-12)
+    }
+
     /// Merges several reports (e.g. the two Figure-5 grids) into one,
     /// renumbering cells sequentially.
     ///
@@ -69,10 +190,12 @@ impl SweepReport {
             records: Vec::new(),
             cache_hits: 0,
             cache_misses: 0,
+            wall_secs: 0.0,
         };
         for report in reports {
             out.cache_hits += report.cache_hits;
             out.cache_misses += report.cache_misses;
+            out.wall_secs += report.wall_secs;
             for mut record in report.records {
                 record.cell = out.records.len();
                 out.records.push(record);
@@ -115,6 +238,45 @@ impl SweepReport {
             }
         }
         axes
+    }
+}
+
+// Hand-written so the JSON form can include the derived aggregate rates
+// alongside the stored fields.
+impl Serialize for SweepReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("grid".to_string(), self.grid.to_value()),
+            ("records".to_string(), self.records.to_value()),
+            ("cache_hits".to_string(), self.cache_hits.to_value()),
+            ("cache_misses".to_string(), self.cache_misses.to_value()),
+            ("wall_secs".to_string(), self.wall_secs.to_value()),
+            (
+                "instructions_per_sec".to_string(),
+                self.instructions_per_sec().to_value(),
+            ),
+            (
+                "sim_cycles_per_sec".to_string(),
+                self.sim_cycles_per_sec().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for SweepReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(SweepReport {
+            grid: Deserialize::from_value(v.field("grid")?)?,
+            records: Deserialize::from_value(v.field("records")?)?,
+            cache_hits: Deserialize::from_value(v.field("cache_hits")?)?,
+            cache_misses: Deserialize::from_value(v.field("cache_misses")?)?,
+            // Absent in pre-telemetry report files; the derived rate fields
+            // are recomputed, never read back.
+            wall_secs: v
+                .field("wall_secs")
+                .ok()
+                .map_or(Ok(0.0), Deserialize::from_value)?,
+        })
     }
 }
 
@@ -168,5 +330,37 @@ mod tests {
         let text = serde::to_string(&report);
         let back: SweepReport = serde::from_str(&text).expect("report round-trips");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn per_cell_perf_is_populated_but_not_identity() {
+        let report = small_report();
+        for r in &report.records {
+            assert!(r.perf.wall_secs > 0.0, "cell {} has no wall time", r.cell);
+            assert!(r.perf.instructions_per_sec > 0.0);
+            assert!(r.perf.sim_cycles_per_sec > r.perf.instructions_per_sec * 0.05);
+        }
+        assert!(report.wall_secs > 0.0);
+        assert!(report.instructions_per_sec() > 0.0);
+        assert!(report.sim_cycles_per_sec() > 0.0);
+        // Report compute-seconds are the sum of per-cell wall times, so
+        // they stay additive under merging (no double-counted engine wall).
+        let cell_sum: f64 = report.records.iter().map(|r| r.perf.wall_secs).sum();
+        assert!((report.wall_secs - cell_sum).abs() < 1e-9);
+        let merged = SweepReport::merged("m", vec![report.clone(), report.clone()]);
+        assert!((merged.wall_secs - 2.0 * report.wall_secs).abs() < 1e-9);
+        // Identity (equality + canonical JSON) excludes the telemetry:
+        // records with different perf still compare and serialize equal.
+        let mut a = report.records[0].clone();
+        let b = a.clone();
+        a.perf.wall_secs *= 1000.0;
+        a.perf.instructions_per_sec = 0.0;
+        assert_eq!(a, b);
+        assert_eq!(serde::to_string(&a), serde::to_string(&b));
+        // The JSON report carries the aggregate rates for perf tracking.
+        let text = serde::to_string(&report);
+        assert!(text.contains("\"instructions_per_sec\""));
+        assert!(text.contains("\"sim_cycles_per_sec\""));
+        assert!(text.contains("\"wall_secs\""));
     }
 }

@@ -43,9 +43,19 @@ impl RoundRobin {
     /// Returns this cycle's priority ordering (highest priority first) and
     /// rotates the starting point for the next cycle.
     pub fn ordering(&mut self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.n);
+        self.ordering_into(&mut out);
+        out
+    }
+
+    /// Writes this cycle's priority ordering into `out` (cleared first) and
+    /// rotates the starting point for the next cycle. The allocation-free
+    /// form used by the simulator hot loop with a reused scratch buffer.
+    pub fn ordering_into(&mut self, out: &mut Vec<usize>) {
         let start = self.next_start;
         self.next_start = (self.next_start + 1) % self.n;
-        (0..self.n).map(|i| (start + i) % self.n).collect()
+        out.clear();
+        out.extend((0..self.n).map(|i| (start + i) % self.n));
     }
 
     /// Returns the current priority ordering without rotating.
@@ -54,6 +64,12 @@ impl RoundRobin {
         (0..self.n)
             .map(|i| (self.next_start + i) % self.n)
             .collect()
+    }
+
+    /// Advances the rotation as if `cycles` orderings had been taken, in
+    /// O(1). Used by the simulator's stall fast-forward.
+    pub fn advance(&mut self, cycles: u64) {
+        self.next_start = (self.next_start + (cycles % self.n as u64) as usize) % self.n;
     }
 
     /// Resets the rotation.

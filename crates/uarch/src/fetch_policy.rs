@@ -31,20 +31,41 @@ pub fn icount_pick(
     max_threads: usize,
     rotation: usize,
 ) -> Vec<usize> {
+    let mut out = Vec::new();
+    icount_pick_into(pending, eligible, max_threads, rotation, &mut out);
+    out
+}
+
+/// [`icount_pick`] writing into a caller-owned buffer (cleared first): the
+/// allocation-free form used by the simulator hot loop, which calls the
+/// fetch policy every cycle with a reused scratch `Vec`.
+///
+/// # Panics
+///
+/// Panics if `pending` and `eligible` have different lengths.
+pub fn icount_pick_into(
+    pending: &[usize],
+    eligible: &[bool],
+    max_threads: usize,
+    rotation: usize,
+    out: &mut Vec<usize>,
+) {
     assert_eq!(
         pending.len(),
         eligible.len(),
         "pending and eligible must describe the same threads"
     );
+    out.clear();
     let n = pending.len();
     if n == 0 || max_threads == 0 {
-        return Vec::new();
+        return;
     }
-    let mut candidates: Vec<usize> = (0..n).filter(|&i| eligible[i]).collect();
-    // Sort by pending count; tie-break by rotated index for fairness.
-    candidates.sort_by_key(|&i| (pending[i], (i + n - rotation % n) % n));
-    candidates.truncate(max_threads);
-    candidates
+    out.extend((0..n).filter(|&i| eligible[i]));
+    // Sort by pending count; tie-break by rotated index for fairness. The
+    // key is a total order (the rotated index is unique), so the unstable
+    // sort is deterministic.
+    out.sort_unstable_by_key(|&i| (pending[i], (i + n - rotation % n) % n));
+    out.truncate(max_threads);
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 //! * [`FuPool`] — a pool of (optionally pipelined) functional units;
 //! * [`RoundRobin`] — the rotating thread priority used by the shared issue
 //!   stage;
-//! * [`icount_pick`] — the RR-2.8 / I-COUNT fetch thread selection policy.
+//! * [`icount_pick`] — the RR-2.8 / I-COUNT fetch thread selection policy;
+//! * [`EventWheel`] — an O(1) timing wheel for deferred completion events.
 //!
 //! These pieces are deliberately independent of the simulator's main loop so
 //! that they can be unit-tested (and reused in ablation studies) in
@@ -29,11 +30,13 @@ mod predictor;
 mod queue;
 mod regfile;
 mod rob;
+mod wheel;
 
 pub use arbiter::RoundRobin;
-pub use fetch_policy::icount_pick;
+pub use fetch_policy::{icount_pick, icount_pick_into};
 pub use fu::FuPool;
 pub use predictor::{BranchPredictor, PredictorStats};
 pub use queue::BoundedQueue;
 pub use regfile::{PhysReg, RegisterFile, RenameOutcome};
 pub use rob::{Rob, RobToken};
+pub use wheel::EventWheel;

@@ -1,16 +1,23 @@
-//! A bounded FIFO queue.
+//! A bounded FIFO queue backed by a fixed ring buffer.
 //!
 //! Used for the per-thread Instruction Queue (the structure whose presence
 //! *is* decoupling: it lets the AP slip ahead of the EP) and the Store
 //! Address Queue (which lets loads bypass pending stores).
-
-use std::collections::VecDeque;
+//!
+//! The storage is allocated once at construction (head/tail arithmetic over
+//! a boxed slice): the simulator's hot loop pushes and pops queue entries
+//! every cycle, and a ring buffer guarantees those operations never touch
+//! the allocator or shift elements.
 
 /// A FIFO queue with a hard capacity.
 #[derive(Debug, Clone)]
 pub struct BoundedQueue<T> {
-    items: VecDeque<T>,
-    capacity: usize,
+    /// Ring storage; `None` slots are free. Length equals `capacity`.
+    slots: Box<[Option<T>]>,
+    /// Index of the oldest item (valid when `len > 0`).
+    head: usize,
+    /// Current number of items.
+    len: usize,
     peak_occupancy: usize,
     rejected: u64,
 }
@@ -25,8 +32,9 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be non-zero");
         BoundedQueue {
-            items: VecDeque::with_capacity(capacity.min(1024)),
-            capacity,
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             peak_occupancy: 0,
             rejected: 0,
         }
@@ -35,31 +43,31 @@ impl<T> BoundedQueue<T> {
     /// Maximum number of items the queue can hold.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Current number of items.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Whether the queue is full.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        self.len >= self.capacity()
     }
 
     /// Remaining free slots.
     #[must_use]
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.items.len()
+        self.capacity() - self.len
     }
 
     /// Highest occupancy seen since construction.
@@ -74,6 +82,17 @@ impl<T> BoundedQueue<T> {
         self.rejected
     }
 
+    /// The physical slot index of the `i`-th item from the head.
+    fn slot(&self, i: usize) -> usize {
+        let idx = self.head + i;
+        let cap = self.capacity();
+        if idx >= cap {
+            idx - cap
+        } else {
+            idx
+        }
+    }
+
     /// Appends an item. On a full queue the item is handed back as `Err`.
     ///
     /// # Errors
@@ -84,46 +103,101 @@ impl<T> BoundedQueue<T> {
             self.rejected += 1;
             return Err(item);
         }
-        self.items.push_back(item);
-        self.peak_occupancy = self.peak_occupancy.max(self.items.len());
+        let tail = self.slot(self.len);
+        debug_assert!(self.slots[tail].is_none(), "tail slot must be free");
+        self.slots[tail] = Some(item);
+        self.len += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.len);
         Ok(())
     }
 
     /// Removes and returns the oldest item.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "head slot must be occupied");
+        self.head = self.slot(1);
+        self.len -= 1;
+        item
     }
 
     /// A reference to the oldest item.
     #[must_use]
     pub fn front(&self) -> Option<&T> {
-        self.items.front()
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
     }
 
     /// A mutable reference to the oldest item.
     pub fn front_mut(&mut self) -> Option<&mut T> {
-        self.items.front_mut()
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_mut()
+        }
+    }
+
+    /// The two contiguous occupied regions of the ring, oldest first.
+    fn halves(&self) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let cap = self.capacity();
+        let end = self.head + self.len;
+        if end <= cap {
+            (self.head..end, 0..0)
+        } else {
+            (self.head..cap, 0..end - cap)
+        }
     }
 
     /// Iterates oldest-to-youngest.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        let (a, b) = self.halves();
+        self.slots[a]
+            .iter()
+            .chain(self.slots[b].iter())
+            .map(|s| s.as_ref().expect("occupied region holds items"))
     }
 
     /// Iterates mutably oldest-to-youngest.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
-        self.items.iter_mut()
+        let (a, b) = self.halves();
+        let (lo, hi) = self.slots.split_at_mut(a.start);
+        let first = &mut hi[..a.end - a.start];
+        let second = &mut lo[b];
+        first
+            .iter_mut()
+            .chain(second.iter_mut())
+            .map(|s| s.as_mut().expect("occupied region holds items"))
     }
 
     /// Removes every item that matches the predicate, preserving order of
     /// the rest.
-    pub fn retain<F: FnMut(&T) -> bool>(&mut self, f: F) {
-        self.items.retain(f);
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut f: F) {
+        let old_len = self.len;
+        let mut kept = 0usize;
+        for i in 0..old_len {
+            let src = self.slot(i);
+            let item = self.slots[src].take().expect("occupied region");
+            if f(&item) {
+                let dst = self.slot(kept);
+                self.slots[dst] = Some(item);
+                kept += 1;
+            }
+        }
+        self.len = kept;
     }
 
     /// Removes all items.
     pub fn clear(&mut self) {
-        self.items.clear();
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.head = 0;
+        self.len = 0;
     }
 }
 
@@ -198,6 +272,30 @@ mod tests {
     }
 
     #[test]
+    fn iteration_across_the_wrap_point() {
+        // Force head near the end of the ring so the occupied region wraps.
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        for i in 10..13 {
+            q.push(i).unwrap();
+        }
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![3, 10, 11, 12]);
+        for x in q.iter_mut() {
+            *x *= 2;
+        }
+        assert_eq!(q.pop(), Some(6));
+        assert_eq!(q.pop(), Some(20));
+        q.retain(|&x| x > 22);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![24]);
+    }
+
+    #[test]
     fn clear_empties_queue() {
         let mut q = BoundedQueue::new(4);
         q.push(1).unwrap();
@@ -228,10 +326,11 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
-        /// The queue never exceeds its capacity and pops return pushed items
-        /// in FIFO order.
+        /// The ring buffer behaves exactly like a naive `VecDeque` model:
+        /// never exceeds capacity, pops in FIFO order, and iteration sees
+        /// the same sequence even when the occupied region wraps.
         #[test]
-        fn bounded_fifo_behaviour(ops in prop::collection::vec(prop::option::of(0u32..100), 1..300)) {
+        fn ring_matches_vecdeque_reference(ops in prop::collection::vec(prop::option::of(0u32..100), 1..300)) {
             let mut q = BoundedQueue::new(5);
             let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
             for op in ops {
@@ -251,7 +350,45 @@ mod proptests {
                 }
                 prop_assert!(q.len() <= 5);
                 prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.front().copied(), model.front().copied());
+                let mine: Vec<u32> = q.iter().copied().collect();
+                let theirs: Vec<u32> = model.iter().copied().collect();
+                prop_assert_eq!(mine, theirs);
             }
+        }
+
+        /// `retain` agrees with the reference implementation at any head
+        /// position (the compaction walks across the wrap point).
+        #[test]
+        fn retain_matches_reference(
+            pre_pops in 0usize..5,
+            values in prop::collection::vec(0u32..50, 0..10),
+            keep_even in prop::bool::ANY,
+        ) {
+            let mut q = BoundedQueue::new(6);
+            let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+            // Rotate the head first so the ring wraps in interesting ways.
+            for i in 0..6u32 {
+                q.push(i).unwrap();
+            }
+            for _ in 0..6 {
+                q.pop();
+            }
+            for _ in 0..pre_pops.min(values.len()) {
+                // no-op: pops beyond empty are None for both.
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+            for v in values {
+                if q.push(v).is_ok() {
+                    model.push_back(v);
+                }
+            }
+            let pred = |x: &u32| x.is_multiple_of(2) == keep_even;
+            q.retain(pred);
+            model.retain(pred);
+            let mine: Vec<u32> = q.iter().copied().collect();
+            let theirs: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(mine, theirs);
         }
     }
 }

@@ -5,14 +5,17 @@
 //! exceptions via "a reorder buffer, a graduation mechanism, and a register
 //! renaming map table"), and to release superseded physical registers at
 //! graduation time.
-
-use std::collections::VecDeque;
+//!
+//! Entries live in a fixed ring buffer allocated at construction; pushes,
+//! completions (O(1) by sequence arithmetic) and retirement never allocate.
+//! The retirement hot path is [`Rob::retire_with`], which hands payloads to
+//! a callback instead of collecting them into a `Vec`.
 
 /// An opaque handle to an entry in a [`Rob`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RobToken(u64);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     seq: u64,
     completed: bool,
@@ -23,8 +26,12 @@ struct Entry<T> {
 /// entry.
 #[derive(Debug)]
 pub struct Rob<T> {
-    entries: VecDeque<Entry<T>>,
-    capacity: usize,
+    /// Ring storage; `None` slots are free. Length equals the capacity.
+    slots: Box<[Option<Entry<T>>]>,
+    /// Physical index of the oldest entry (valid when `len > 0`).
+    head: usize,
+    /// Current number of in-flight entries.
+    len: usize,
     next_seq: u64,
     retired: u64,
 }
@@ -39,8 +46,9 @@ impl<T> Rob<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be non-zero");
         Rob {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             next_seq: 0,
             retired: 0,
         }
@@ -49,31 +57,53 @@ impl<T> Rob<T> {
     /// Maximum number of in-flight entries.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Current number of in-flight entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the ROB holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether the ROB is full (dispatch must stall).
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity()
     }
 
     /// Total number of entries retired so far.
     #[must_use]
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Whether the head entry exists and is completed (i.e. a retire pass
+    /// would graduate at least one instruction).
+    #[must_use]
+    pub fn head_completed(&self) -> bool {
+        self.len > 0
+            && self.slots[self.head]
+                .as_ref()
+                .expect("head slot occupied when len > 0")
+                .completed
+    }
+
+    /// The physical slot index of the `i`-th entry from the head.
+    fn slot(&self, i: usize) -> usize {
+        let idx = self.head + i;
+        let cap = self.capacity();
+        if idx >= cap {
+            idx - cap
+        } else {
+            idx
+        }
     }
 
     /// Allocates an entry at the tail. Returns `None` when the ROB is full.
@@ -83,26 +113,32 @@ impl<T> Rob<T> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push_back(Entry {
+        let tail = self.slot(self.len);
+        debug_assert!(self.slots[tail].is_none(), "tail slot must be free");
+        self.slots[tail] = Some(Entry {
             seq,
             completed: false,
             payload,
         });
+        self.len += 1;
         Some(RobToken(seq))
     }
 
+    /// The physical slot of `token`, if it is still in flight. O(1): the
+    /// in-flight window is the contiguous sequence range ending at
+    /// `next_seq`.
     fn position(&self, token: RobToken) -> Option<usize> {
-        let head_seq = self.entries.front()?.seq;
-        if token.0 < head_seq {
+        let head_seq = self.next_seq - self.len as u64;
+        if self.len == 0 || token.0 < head_seq || token.0 >= self.next_seq {
             return None;
         }
-        let idx = (token.0 - head_seq) as usize;
-        if idx < self.entries.len() {
-            debug_assert_eq!(self.entries[idx].seq, token.0);
-            Some(idx)
-        } else {
-            None
-        }
+        let idx = self.slot((token.0 - head_seq) as usize);
+        debug_assert_eq!(
+            self.slots[idx].as_ref().map(|e| e.seq),
+            Some(token.0),
+            "ring slot must hold the tokened entry"
+        );
+        Some(idx)
     }
 
     /// Marks the entry identified by `token` as completed (eligible for
@@ -116,7 +152,10 @@ impl<T> Rob<T> {
         let idx = self
             .position(token)
             .expect("mark_completed on a token that is not in flight");
-        self.entries[idx].completed = true;
+        self.slots[idx]
+            .as_mut()
+            .expect("position returns occupied slots")
+            .completed = true;
     }
 
     /// Whether the entry identified by `token` is still in flight.
@@ -128,37 +167,57 @@ impl<T> Rob<T> {
     /// Read-only access to the payload of an in-flight entry.
     #[must_use]
     pub fn payload(&self, token: RobToken) -> Option<&T> {
-        self.position(token).map(|i| &self.entries[i].payload)
+        self.position(token)
+            .map(|i| &self.slots[i].as_ref().expect("occupied").payload)
     }
 
     /// Mutable access to the payload of an in-flight entry.
     pub fn payload_mut(&mut self, token: RobToken) -> Option<&mut T> {
         self.position(token)
-            .map(move |i| &mut self.entries[i].payload)
+            .map(move |i| &mut self.slots[i].as_mut().expect("occupied").payload)
+    }
+
+    /// Retires completed entries from the head, in order, up to `max`
+    /// entries, handing each payload to `f`. Returns the number retired.
+    ///
+    /// This is the allocation-free form used by the simulator every cycle;
+    /// [`Rob::retire`] wraps it when a `Vec` is convenient.
+    pub fn retire_with<F: FnMut(T)>(&mut self, max: usize, mut f: F) -> usize {
+        let mut count = 0usize;
+        while count < max && self.len > 0 {
+            match &self.slots[self.head] {
+                Some(e) if e.completed => {
+                    let e = self.slots[self.head].take().expect("head is occupied");
+                    self.head = self.slot(1);
+                    self.len -= 1;
+                    self.retired += 1;
+                    count += 1;
+                    f(e.payload);
+                }
+                _ => break,
+            }
+        }
+        count
     }
 
     /// Retires completed entries from the head, in order, up to `max`
     /// entries, returning their payloads.
     pub fn retire(&mut self, max: usize) -> Vec<T> {
         let mut out = Vec::new();
-        while out.len() < max {
-            match self.entries.front() {
-                Some(e) if e.completed => {
-                    let e = self.entries.pop_front().expect("front exists");
-                    self.retired += 1;
-                    out.push(e.payload);
-                }
-                _ => break,
-            }
-        }
+        self.retire_with(max, |p| out.push(p));
         out
     }
 
     /// Removes every entry (used when squashing a thread); returns the
     /// payloads youngest-first so rollback can proceed in reverse order.
     pub fn drain_all(&mut self) -> Vec<T> {
-        let mut v: Vec<T> = self.entries.drain(..).map(|e| e.payload).collect();
-        v.reverse();
+        let mut v: Vec<T> = Vec::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            let idx = self.slot(i);
+            v.push(self.slots[idx].take().expect("occupied region").payload);
+        }
+        self.head = 0;
+        self.len = 0;
         v
     }
 }
@@ -192,6 +251,20 @@ mod tests {
         }
         assert_eq!(rob.retire(4), vec![0, 1, 2, 3]);
         assert_eq!(rob.retire(4), vec![4, 5]);
+    }
+
+    #[test]
+    fn retire_with_counts_and_visits_in_order() {
+        let mut rob: Rob<u32> = Rob::new(4);
+        let a = rob.push(1).unwrap();
+        let b = rob.push(2).unwrap();
+        rob.mark_completed(a);
+        rob.mark_completed(b);
+        let mut seen = Vec::new();
+        let n = rob.retire_with(8, |p| seen.push(p));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(rob.retire_with(8, |_| panic!("nothing left")), 0);
     }
 
     #[test]
@@ -272,6 +345,108 @@ mod tests {
             for v in rob.retire(2) {
                 assert_eq!(v, next_expected);
                 next_expected += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive reference: a `VecDeque` of (seq, completed, payload), exactly
+    /// the pre-ring-buffer implementation.
+    struct NaiveRob {
+        entries: std::collections::VecDeque<(u64, bool, u32)>,
+        capacity: usize,
+        next_seq: u64,
+        retired: u64,
+    }
+
+    impl NaiveRob {
+        fn push(&mut self, payload: u32) -> Option<u64> {
+            if self.entries.len() >= self.capacity {
+                return None;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.push_back((seq, false, payload));
+            Some(seq)
+        }
+
+        fn mark_completed(&mut self, seq: u64) -> bool {
+            for e in &mut self.entries {
+                if e.0 == seq {
+                    e.1 = true;
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn retire(&mut self, max: usize) -> Vec<u32> {
+            let mut out = Vec::new();
+            while out.len() < max {
+                match self.entries.front() {
+                    Some(&(_, true, p)) => {
+                        out.push(p);
+                        self.entries.pop_front();
+                        self.retired += 1;
+                    }
+                    _ => break,
+                }
+            }
+            out
+        }
+    }
+
+    proptest! {
+        /// The ring-buffer ROB matches the naive reference under arbitrary
+        /// interleavings of push / complete-random-inflight / retire.
+        #[test]
+        fn ring_rob_matches_naive_reference(
+            ops in prop::collection::vec((0u8..3, 0usize..16, 0u32..1000), 1..200),
+        ) {
+            let mut rob: Rob<u32> = Rob::new(5);
+            let mut model = NaiveRob {
+                entries: std::collections::VecDeque::new(),
+                capacity: 5,
+                next_seq: 0,
+                retired: 0,
+            };
+            let mut tokens: Vec<(RobToken, u64)> = Vec::new();
+            for (op, pick, value) in ops {
+                match op {
+                    0 => {
+                        let t = rob.push(value);
+                        let m = model.push(value);
+                        prop_assert_eq!(t.is_some(), m.is_some());
+                        if let (Some(t), Some(m)) = (t, m) {
+                            tokens.push((t, m));
+                        }
+                    }
+                    1 => {
+                        if !tokens.is_empty() {
+                            let (t, m) = tokens[pick % tokens.len()];
+                            // Completing an already-retired entry is a panic
+                            // in the real ROB; only mirror in-flight marks.
+                            if model.mark_completed(m) {
+                                prop_assert!(rob.contains(t));
+                                rob.mark_completed(t);
+                            } else {
+                                prop_assert!(!rob.contains(t));
+                            }
+                        }
+                    }
+                    _ => {
+                        let max = pick % 4;
+                        prop_assert_eq!(rob.retire(max), model.retire(max));
+                    }
+                }
+                prop_assert_eq!(rob.len(), model.entries.len());
+                prop_assert_eq!(rob.retired(), model.retired);
+                prop_assert_eq!(rob.is_full(), model.entries.len() >= 5);
             }
         }
     }

@@ -4,14 +4,62 @@
 //! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
 //! annotations) backed by a plain wall-clock harness: each benchmark warms
 //! up briefly, then runs up to `sample_size` timed iterations bounded by
-//! `measurement_time`, and prints the mean time per iteration plus derived
-//! throughput. No statistics, plots or comparisons — just honest timings
-//! that work offline.
+//! `measurement_time`, and reports mean, median and sample standard
+//! deviation per iteration plus derived throughput (see [`Summary`]), so
+//! regressions are distinguishable from run-to-run noise. No plots or
+//! baselines — just honest offline statistics.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics over a set of per-iteration timing samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub samples: usize,
+    /// Arithmetic mean, in nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median (50th percentile), in nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for a single sample),
+    /// in nanoseconds per iteration.
+    pub stddev_ns: f64,
+}
+
+/// Computes [`Summary`] statistics over raw samples (any unit; the field
+/// names say nanoseconds because that is what the harness feeds in, but
+/// the math is unit-agnostic — benches also use it for cells/sec samples).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize zero samples");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        var.sqrt()
+    };
+    Summary {
+        samples: n,
+        mean_ns: mean,
+        median_ns: median,
+        stddev_ns: stddev,
+    }
+}
 
 /// Throughput annotation for a benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -50,12 +98,15 @@ pub struct Bencher {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
-    /// Filled in by [`Bencher::iter`]: (iterations, total elapsed).
-    result: Option<(u64, Duration)>,
+    /// Filled in by [`Bencher::iter`]: nanoseconds per iteration, one
+    /// sample per timed execution.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times repeated executions of `routine`.
+    /// Times repeated executions of `routine`, recording one sample per
+    /// iteration so the harness can report median and spread, not just a
+    /// mean.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         // Warm-up: run until the warm-up budget is spent (at least once).
         let warm_start = Instant::now();
@@ -65,13 +116,18 @@ impl Bencher {
                 break;
             }
         }
-        let mut iters = 0u64;
         let start = Instant::now();
-        while iters < self.sample_size as u64 && start.elapsed() < self.measurement {
+        while self.samples.len() < self.sample_size && start.elapsed() < self.measurement {
+            let iter_start = Instant::now();
             black_box(routine());
-            iters += 1;
+            self.samples.push(iter_start.elapsed().as_nanos() as f64);
         }
-        self.result = Some((iters.max(1), start.elapsed()));
+        if self.samples.is_empty() {
+            // Budget exhausted during warm-up: record one honest sample.
+            let iter_start = Instant::now();
+            black_box(routine());
+            self.samples.push(iter_start.elapsed().as_nanos() as f64);
+        }
     }
 }
 
@@ -116,31 +172,34 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
             warm_up: self.warm_up,
             measurement: self.measurement,
-            result: None,
+            samples: Vec::with_capacity(self.sample_size),
         };
         f(&mut b);
         let full = format!("{}/{}", self.name, id);
-        match b.result {
-            Some((iters, elapsed)) => {
-                let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
-                let mut line = format!("bench: {full:<55} {:>12.0} ns/iter", ns_per_iter);
-                if let Some(t) = self.throughput {
-                    let (count, unit) = match t {
-                        Throughput::Elements(n) => (n, "elem"),
-                        Throughput::Bytes(n) => (n, "B"),
-                    };
-                    let per_sec = count as f64 / (ns_per_iter / 1e9);
-                    if per_sec >= 1e6 {
-                        line.push_str(&format!(" ({:.2} M{unit}/s)", per_sec / 1e6));
-                    } else {
-                        line.push_str(&format!(" ({per_sec:.1} {unit}/s)"));
-                    }
-                }
-                println!("{line}");
-                self.criterion.completed += 1;
-            }
-            None => println!("bench: {full:<55} (no iterations recorded)"),
+        if b.samples.is_empty() {
+            println!("bench: {full:<55} (no iterations recorded)");
+            return;
         }
+        let s = summarize(&b.samples);
+        let mut line = format!(
+            "bench: {full:<55} median {:>12.0} ns/iter  mean {:>12.0}  ±{:.0} ({} samples)",
+            s.median_ns, s.mean_ns, s.stddev_ns, s.samples
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            // Throughput from the median: robust to one slow outlier.
+            let per_sec = count as f64 / (s.median_ns / 1e9);
+            if per_sec >= 1e6 {
+                line.push_str(&format!(" ({:.2} M{unit}/s)", per_sec / 1e6));
+            } else {
+                line.push_str(&format!(" ({per_sec:.1} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+        self.criterion.completed += 1;
     }
 
     /// Runs one benchmark.
@@ -235,5 +294,27 @@ mod tests {
     fn benchmark_id_formats() {
         let id = BenchmarkId::new("tomcatv", 256);
         assert_eq!(id.name, "tomcatv/256");
+    }
+
+    #[test]
+    fn summarize_reports_mean_median_stddev() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.samples, 5);
+        assert!((s.mean_ns - 22.0).abs() < 1e-9);
+        assert!((s.median_ns - 3.0).abs() < 1e-9, "median resists outliers");
+        assert!(s.stddev_ns > 40.0, "outlier shows up in the spread");
+
+        let even = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((even.median_ns - 2.5).abs() < 1e-9);
+
+        let single = summarize(&[7.0]);
+        assert_eq!(single.median_ns, 7.0);
+        assert_eq!(single.stddev_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summarize_rejects_empty() {
+        let _ = summarize(&[]);
     }
 }
