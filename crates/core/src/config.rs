@@ -3,6 +3,32 @@
 use dsmt_mem::MemConfig;
 use serde::{Deserialize, Serialize};
 
+/// Which threads win the per-cycle fetch slots.
+///
+/// The paper's machine uses I-COUNT ("those with less instructions pending
+/// to be dispatched"); Section 3.1 discusses it against the plain RR-2.8
+/// rotation this knob also exposes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchPolicy {
+    /// Prefer the threads with the fewest fetched-but-undispatched
+    /// instructions (ties rotate). The paper's default.
+    #[default]
+    ICount,
+    /// Plain rotation over the eligible threads, ignoring their load.
+    RoundRobin,
+}
+
+impl FetchPolicy {
+    /// Short label used in sweep records and CSV cells.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FetchPolicy::ICount => "icount",
+            FetchPolicy::RoundRobin => "round-robin",
+        }
+    }
+}
+
 /// Configuration of the multithreaded decoupled processor.
 ///
 /// The defaults mirror the paper's Figure 2 parameters. Use
@@ -20,6 +46,9 @@ pub struct SimConfig {
     pub decoupled: bool,
     /// How many threads may access the I-cache (fetch) per cycle (paper: 2).
     pub fetch_threads_per_cycle: usize,
+    /// How the fetch slots are awarded among eligible threads (paper:
+    /// I-COUNT).
+    pub fetch_policy: FetchPolicy,
     /// Instructions fetched per selected thread per cycle (paper: 8).
     pub fetch_width: usize,
     /// Per-thread dispatch width (paper: 8).
@@ -81,6 +110,7 @@ impl SimConfig {
             num_threads,
             decoupled: true,
             fetch_threads_per_cycle: 2,
+            fetch_policy: FetchPolicy::ICount,
             fetch_width: 8,
             dispatch_width: 8,
             retire_width: 8,
@@ -149,6 +179,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_queue_scaling(mut self, scale: bool) -> Self {
         self.scale_queues_with_latency = scale;
+        self
+    }
+
+    /// Sets the fetch policy (I-COUNT vs plain round-robin).
+    #[must_use]
+    pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
         self
     }
 
@@ -377,5 +414,19 @@ mod tests {
         let d = SimConfig::default();
         assert_eq!(d.num_threads, 1);
         assert!(d.decoupled);
+        assert_eq!(d.fetch_policy, FetchPolicy::ICount);
+    }
+
+    #[test]
+    fn fetch_policy_knob_round_trips() {
+        let c = SimConfig::paper_multithreaded(2).with_fetch_policy(FetchPolicy::RoundRobin);
+        assert_eq!(c.fetch_policy, FetchPolicy::RoundRobin);
+        assert!(c.validate().is_ok());
+        let text = serde::to_string(&c);
+        assert!(text.contains("RoundRobin"));
+        let back: SimConfig = serde::from_str(&text).expect("config round-trips");
+        assert_eq!(back, c);
+        assert_eq!(FetchPolicy::default(), FetchPolicy::ICount);
+        assert_ne!(FetchPolicy::ICount.label(), FetchPolicy::RoundRobin.label());
     }
 }

@@ -47,6 +47,6 @@ mod processor;
 mod stats;
 mod thread;
 
-pub use config::SimConfig;
+pub use config::{FetchPolicy, SimConfig};
 pub use processor::Processor;
 pub use stats::{PerceivedLatency, SimResults, SlotUse, UnitSlots};

@@ -8,7 +8,7 @@
 use dsmt_isa::{steer, OpClass, RegClass, Unit};
 use dsmt_mem::{AccessKind, AccessResponse, MemorySystem};
 use dsmt_trace::{ThreadWorkload, TraceSource};
-use dsmt_uarch::{icount_pick_into, EventWheel, FuPool, RoundRobin};
+use dsmt_uarch::{icount_pick_into, round_robin_pick_into, EventWheel, FuPool, RoundRobin};
 
 use crate::thread::{
     DestOperand, FetchedInst, InflightInst, RobPayload, SaqEntry, SrcOperand, ThreadContext,
@@ -819,13 +819,21 @@ impl Processor {
                 .iter()
                 .map(|t| t.fetch_eligible(max_unresolved)),
         );
-        icount_pick_into(
-            &pending,
-            &eligible,
-            self.config.fetch_threads_per_cycle,
-            cycle as usize,
-            &mut picks,
-        );
+        match self.config.fetch_policy {
+            crate::FetchPolicy::ICount => icount_pick_into(
+                &pending,
+                &eligible,
+                self.config.fetch_threads_per_cycle,
+                cycle as usize,
+                &mut picks,
+            ),
+            crate::FetchPolicy::RoundRobin => round_robin_pick_into(
+                &eligible,
+                self.config.fetch_threads_per_cycle,
+                cycle as usize,
+                &mut picks,
+            ),
+        }
         for &t in &picks {
             let thread = &mut self.threads[t];
             for _ in 0..self.config.fetch_width {

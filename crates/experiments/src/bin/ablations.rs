@@ -4,12 +4,17 @@
 //!
 //! Usage: `cargo run --release -p dsmt-experiments --bin ablations`
 //! Set `DSMT_INSTS` to change the number of instructions per data point and
-//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache.
+//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache. Pass
+//! `--shard i/n` to run only the i-th of n deterministic shards (warming
+//! the shared cache) instead of rendering the figure.
 
-use dsmt_experiments::{ablations, ExperimentParams};
+use dsmt_experiments::{ablations, maybe_run_shard, ExperimentParams};
 
 fn main() {
     let params = ExperimentParams::from_env();
+    if maybe_run_shard(&ablations::grids(&params), &params) {
+        return;
+    }
     eprintln!(
         "running ablations ({} instructions/point, {} workers)...",
         params.instructions_per_point, params.workers

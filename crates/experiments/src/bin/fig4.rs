@@ -3,12 +3,17 @@
 //!
 //! Usage: `cargo run --release -p dsmt-experiments --bin fig4`
 //! Set `DSMT_INSTS` to change the number of instructions per data point and
-//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache.
+//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache. Pass
+//! `--shard i/n` to run only the i-th of n deterministic shards (warming
+//! the shared cache) instead of rendering the figure.
 
-use dsmt_experiments::{fig4, ExperimentParams};
+use dsmt_experiments::{fig4, maybe_run_shard, ExperimentParams};
 
 fn main() {
     let params = ExperimentParams::from_env();
+    if maybe_run_shard(std::slice::from_ref(&fig4::grid(&params)), &params) {
+        return;
+    }
     eprintln!(
         "running Figure 4 sweep ({} instructions/point, {} workers)...",
         params.instructions_per_point, params.workers

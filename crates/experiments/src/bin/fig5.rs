@@ -4,12 +4,17 @@
 //!
 //! Usage: `cargo run --release -p dsmt-experiments --bin fig5`
 //! Set `DSMT_INSTS` to change the number of instructions per data point and
-//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache.
+//! `DSMT_SWEEP_CACHE` to relocate or disable the result cache. Pass
+//! `--shard i/n` to run only the i-th of n deterministic shards (warming
+//! the shared cache) instead of rendering the figure.
 
-use dsmt_experiments::{fig5, ExperimentParams};
+use dsmt_experiments::{fig5, maybe_run_shard, ExperimentParams};
 
 fn main() {
     let params = ExperimentParams::from_env();
+    if maybe_run_shard(&fig5::grids(&params), &params) {
+        return;
+    }
     eprintln!(
         "running Figure 5 sweep ({} instructions/point, {} workers)...",
         params.instructions_per_point, params.workers

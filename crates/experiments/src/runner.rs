@@ -6,7 +6,8 @@
 //! simulation — swept or not — goes down one code path.
 
 use dsmt_core::{SimConfig, SimResults};
-use dsmt_sweep::{Scenario, SweepEngine, WorkloadSpec};
+use dsmt_shard::{plan, run_shard, ShardStrategy};
+use dsmt_sweep::{Scenario, SweepEngine, SweepGrid, WorkloadSpec};
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,89 @@ impl Default for ExperimentParams {
     }
 }
 
+/// Parses a `--shard i/n` (or `--shard=i/n`) selector from explicit
+/// argument strings. Returns `None` when the flag is absent.
+///
+/// # Errors
+///
+/// A human-readable message when the flag is present but malformed
+/// (`i >= n`, zero shards, not two integers).
+pub fn parse_shard_selector(args: &[String]) -> Result<Option<(usize, usize)>, String> {
+    let mut spec: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--shard" {
+            spec = Some(
+                it.next()
+                    .ok_or("--shard expects a value like `0/4`")?
+                    .as_str(),
+            );
+        } else if let Some(v) = arg.strip_prefix("--shard=") {
+            spec = Some(v);
+        }
+    }
+    let Some(spec) = spec else { return Ok(None) };
+    let (index, count) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects `i/n`, got `{spec}`"))?;
+    let index: usize = index
+        .trim()
+        .parse()
+        .map_err(|_| format!("--shard index `{index}` is not a number"))?;
+    let count: usize = count
+        .trim()
+        .parse()
+        .map_err(|_| format!("--shard count `{count}` is not a number"))?;
+    if count == 0 {
+        return Err("--shard count must be at least 1".to_string());
+    }
+    if index >= count {
+        return Err(format!("--shard index {index} out of range (0..{count})"));
+    }
+    Ok(Some((index, count)))
+}
+
+/// The figure binaries' `--shard i/n` path: if the process arguments carry
+/// a shard selector, runs only that shard of each grid (strided plan, so
+/// every shard sees a slice of every cost regime) and returns `true` — the
+/// caller then skips rendering. Cells land in the shared result cache, so
+/// once all `n` shards have run (on any mix of hosts pointing
+/// `DSMT_SWEEP_CACHE` at a shared directory), a plain figure run replays
+/// everything from cache and renders the tables.
+///
+/// # Panics
+///
+/// Panics on a malformed selector or an unplannable grid — argument and
+/// grid construction errors, not runtime conditions.
+#[must_use]
+pub fn maybe_run_shard(grids: &[SweepGrid], params: &ExperimentParams) -> bool {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selector = parse_shard_selector(&args).unwrap_or_else(|e| panic!("{e}"));
+    let Some((index, count)) = selector else {
+        return false;
+    };
+    let engine = params.engine();
+    for grid in grids {
+        let manifest = plan(grid, count, ShardStrategy::Strided)
+            .unwrap_or_else(|e| panic!("cannot shard `{}`: {e}", grid.name));
+        let run = run_shard(&manifest, index, &engine)
+            .unwrap_or_else(|e| panic!("cannot run shard {index} of `{}`: {e}", grid.name));
+        eprintln!(
+            "shard {index}/{count} of `{}`: {} cells ({} cached, {} simulated) in {:.2}s",
+            grid.name,
+            run.report.records.len(),
+            run.report.cache_hits,
+            run.report.cache_misses,
+            run.report.wall_secs,
+        );
+    }
+    eprintln!(
+        "shard {index}/{count} done; run without --shard once all shards finished \
+         (shared DSMT_SWEEP_CACHE) to render the figures from cache"
+    );
+    true
+}
+
 /// Runs one simulation of the multithreaded SPEC FP95 workload under
 /// `config`.
 #[must_use]
@@ -143,6 +227,31 @@ mod tests {
         assert!(parallel_map(empty, 4, |x: &u64| *x).is_empty());
         let out = parallel_map(vec![1u64, 2, 3], 1, |x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shard_selector_parsing() {
+        let args = |s: &[&str]| -> Vec<String> { s.iter().map(ToString::to_string).collect() };
+        assert_eq!(parse_shard_selector(&args(&[])), Ok(None));
+        assert_eq!(parse_shard_selector(&args(&["--other", "1"])), Ok(None));
+        assert_eq!(
+            parse_shard_selector(&args(&["--shard", "0/4"])),
+            Ok(Some((0, 4)))
+        );
+        assert_eq!(
+            parse_shard_selector(&args(&["--shard=3/4"])),
+            Ok(Some((3, 4)))
+        );
+        // Last occurrence wins, like most CLI flag conventions.
+        assert_eq!(
+            parse_shard_selector(&args(&["--shard", "0/4", "--shard", "1/2"])),
+            Ok(Some((1, 2)))
+        );
+        assert!(parse_shard_selector(&args(&["--shard"])).is_err());
+        assert!(parse_shard_selector(&args(&["--shard", "4"])).is_err());
+        assert!(parse_shard_selector(&args(&["--shard", "4/4"])).is_err());
+        assert!(parse_shard_selector(&args(&["--shard", "0/0"])).is_err());
+        assert!(parse_shard_selector(&args(&["--shard", "x/2"])).is_err());
     }
 
     #[test]

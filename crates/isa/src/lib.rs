@@ -44,6 +44,7 @@ mod inst;
 mod op;
 mod reg;
 mod steer;
+pub mod varint;
 
 pub use encode::{decode_instruction, decode_stream, encode_instruction, encode_stream};
 pub use error::InstructionError;
@@ -51,3 +52,4 @@ pub use inst::{BranchInfo, Instruction, MemRef};
 pub use op::OpClass;
 pub use reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};
 pub use steer::{steer, Unit};
+pub use varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint, VarintError};

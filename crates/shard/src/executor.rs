@@ -1,0 +1,121 @@
+//! Runs one shard of a manifest and packages the result.
+
+use dsmt_sweep::{SweepEngine, SweepReport};
+
+use crate::{DsrFile, ShardManifest, ShardPlanError};
+
+/// The outcome of executing one shard: the partial report (with live cache
+/// telemetry) and its `.dsr` packaging (identity only, ready to ship).
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Which shard was executed.
+    pub shard_index: usize,
+    /// The partial sweep report (records carry grid-order cell indices).
+    pub report: SweepReport,
+    /// The same records as a writable `.dsr` file.
+    pub dsr: DsrFile,
+}
+
+/// The conventional file name for a shard's `.dsr` output:
+/// `<grid>.shard-<i>-of-<n>.dsr`.
+#[must_use]
+pub fn shard_file_name(manifest: &ShardManifest, shard_index: usize) -> String {
+    format!(
+        "{}.shard-{shard_index}-of-{}.dsr",
+        manifest.grid.name,
+        manifest.num_shards()
+    )
+}
+
+/// Validates the manifest and executes its `shard_index`-th shard on
+/// `engine`. With a shared cache directory, shards running on different
+/// hosts dedup overlapping scenarios automatically — the cache key is a
+/// pure function of the scenario.
+///
+/// # Errors
+///
+/// Any manifest validation error, or [`ShardPlanError::BadPartition`] if
+/// `shard_index` is out of range.
+///
+/// # Panics
+///
+/// As for [`SweepEngine::run`] (invalid cell configuration, unusable cache
+/// directory) — grid construction bugs, not runtime conditions.
+pub fn run_shard(
+    manifest: &ShardManifest,
+    shard_index: usize,
+    engine: &SweepEngine,
+) -> Result<ShardRun, ShardPlanError> {
+    manifest.validate()?;
+    let cells = manifest.shards.get(shard_index).ok_or_else(|| {
+        ShardPlanError::BadPartition(format!(
+            "shard index {shard_index} out of range (plan has {} shards)",
+            manifest.num_shards()
+        ))
+    })?;
+    let report = engine.run_subset(&manifest.grid, cells);
+    let dsr = DsrFile::from_report(&manifest.grid, &report, shard_index, manifest.num_shards());
+    Ok(ShardRun {
+        shard_index,
+        report,
+        dsr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plan, ShardStrategy};
+    use dsmt_core::SimConfig;
+    use dsmt_sweep::{Axis, SweepGrid, WorkloadSpec};
+
+    fn manifest() -> ShardManifest {
+        let grid = SweepGrid::new("exec", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::spec_mix(1_500))
+            .with_axis(Axis::l2_latencies(&[1, 16, 64]))
+            .with_axis(Axis::decoupled(&[true, false]))
+            .with_budget(4_000);
+        plan(&grid, 3, ShardStrategy::Strided).unwrap()
+    }
+
+    #[test]
+    fn shard_runs_cover_exactly_their_cells() {
+        let m = manifest();
+        let engine = SweepEngine::new(2).without_cache();
+        let full = engine.run(&m.grid);
+        for index in 0..m.num_shards() {
+            let run = run_shard(&m, index, &engine).expect("shard runs");
+            assert_eq!(run.shard_index, index);
+            let cells: Vec<usize> = run.report.records.iter().map(|r| r.cell).collect();
+            assert_eq!(cells, m.shards[index]);
+            for record in &run.report.records {
+                assert_eq!(record, &full.records[record.cell]);
+            }
+            assert_eq!(run.dsr.shard_index, index);
+            assert_eq!(run.dsr.shard_count, 3);
+            assert_eq!(run.dsr.records.len(), m.shards[index].len());
+        }
+    }
+
+    #[test]
+    fn bad_indices_and_stale_manifests_are_rejected() {
+        let m = manifest();
+        let engine = SweepEngine::new(1).without_cache();
+        assert!(matches!(
+            run_shard(&m, 3, &engine),
+            Err(ShardPlanError::BadPartition(_))
+        ));
+        let mut stale = m;
+        stale.grid.seed += 1;
+        assert!(matches!(
+            run_shard(&stale, 0, &engine),
+            Err(ShardPlanError::GridHashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_file_names_follow_the_convention() {
+        let m = manifest();
+        assert_eq!(shard_file_name(&m, 1), "exec.shard-1-of-3.dsr");
+    }
+}

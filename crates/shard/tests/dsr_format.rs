@@ -1,0 +1,213 @@
+//! `.dsr` format guarantees: property-based round-trips, corruption
+//! rejection and a golden fixture pinning the on-disk layout.
+
+use dsmt_core::{PerceivedLatency, SimConfig, SimResults, UnitSlots};
+use dsmt_mem::MemStats;
+use dsmt_shard::{DsrError, DsrFile, DsrRecord, DSR_FORMAT_VERSION};
+use dsmt_sweep::{fnv1a64, Axis, SweepGrid, WorkloadSpec};
+use proptest::prelude::*;
+
+/// The fixed grid every test file uses; its canonical JSON is part of the
+/// golden fixture.
+fn fixture_grid() -> SweepGrid {
+    SweepGrid::new("golden", SimConfig::paper_multithreaded(1))
+        .with_workload(WorkloadSpec::spec_mix(2_000))
+        .with_axis(Axis::l2_latencies(&[1, 16]))
+        .with_axis(Axis::threads(&[1, 2]))
+        .with_seed(7)
+        .with_budget(9_000)
+}
+
+/// Synthetic-but-plausible results; parameterized so records differ.
+fn synthetic_results(salt: u64) -> SimResults {
+    SimResults {
+        cycles: 10_000 + salt * 977,
+        instructions: 9_000 + salt * 13,
+        per_thread_instructions: vec![4_500 + salt, 4_500 + salt * 12],
+        ap_slots: UnitSlots {
+            useful: 6_000 + salt,
+            wait_memory: 1_000,
+            wait_fu: 500 + salt * 3,
+            wrong_path_or_idle: 250,
+            other: salt,
+        },
+        ep_slots: UnitSlots {
+            useful: 3_000,
+            wait_memory: 2_000 + salt * 7,
+            wait_fu: 100,
+            wrong_path_or_idle: 0,
+            other: 77,
+        },
+        perceived: PerceivedLatency {
+            fp_stall_cycles: 400 + salt,
+            int_stall_cycles: 30,
+            fp_load_misses: 80,
+            int_load_misses: 11 + salt,
+        },
+        mem: MemStats {
+            load_hits: 2_000 + salt,
+            load_misses: 150,
+            store_hits: 900,
+            store_misses: 60 + salt * 2,
+            mshr_merges: 40,
+            mshr_full_rejections: 3,
+            port_rejections: 17,
+            writebacks: 55,
+            bus_busy_cycles: 4_321 + salt,
+            bus_transfers: 205,
+            bus_bytes: 13_120,
+        },
+        bus_utilization: 0.25 + salt as f64 / 1000.0,
+        branch_accuracy: 0.875,
+        loads: 2_150 + salt,
+        stores: 960,
+        branches: 1_200,
+        mispredictions: 150 - salt.min(100),
+    }
+}
+
+fn fixture_file() -> DsrFile {
+    DsrFile {
+        grid: fixture_grid(),
+        shard_index: 1,
+        shard_count: 2,
+        records: vec![
+            DsrRecord {
+                cell: 1,
+                results: synthetic_results(0),
+            },
+            DsrRecord {
+                cell: 3,
+                results: synthetic_results(5),
+            },
+        ],
+    }
+}
+
+const GOLDEN_PATH: &str = "tests/golden/fixture.dsr";
+
+/// Pins the byte layout. If this fails you changed the `.dsr` format (or
+/// the serialized shape of `SweepGrid`/`SimResults`): bump
+/// [`DSR_FORMAT_VERSION`] and regenerate the fixture with
+/// `DSMT_REGEN_GOLDEN=1 cargo test -p dsmt-shard --test dsr_format`.
+#[test]
+fn golden_fixture_pins_the_on_disk_layout() {
+    let encoded = fixture_file().encode();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var("DSMT_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &encoded).unwrap();
+        eprintln!("regenerated {} ({} bytes)", path.display(), encoded.len());
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with DSMT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        encoded, golden,
+        ".dsr byte layout changed — if intentional, bump DSR_FORMAT_VERSION \
+         (now {DSR_FORMAT_VERSION}) and regenerate the fixture"
+    );
+    // And the committed bytes still decode to the same logical file.
+    assert_eq!(
+        DsrFile::decode(&golden).expect("golden decodes"),
+        fixture_file()
+    );
+}
+
+#[test]
+fn golden_header_bytes_are_as_documented() {
+    let bytes = fixture_file().encode();
+    assert_eq!(&bytes[0..4], b"DSR\0", "magic");
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        DSR_FORMAT_VERSION,
+        "version field"
+    );
+    // Trailing 8 bytes are the FNV-1a checksum of everything before.
+    let (content, tail) = bytes.split_at(bytes.len() - 8);
+    assert_eq!(
+        u64::from_le_bytes(tail.try_into().unwrap()),
+        fnv1a64(content),
+        "trailing checksum"
+    );
+}
+
+#[test]
+fn every_single_byte_truncation_is_rejected() {
+    let bytes = fixture_file().encode();
+    for keep in 0..bytes.len() {
+        assert!(
+            DsrFile::decode(&bytes[..keep]).is_err(),
+            "truncation to {keep}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn records_round_trip_bytes_exactly(
+        salts in prop::collection::vec(any::<u64>(), 0..8),
+        shard_index in 0usize..4,
+    ) {
+        let grid = fixture_grid();
+        let records: Vec<DsrRecord> = salts
+            .iter()
+            .enumerate()
+            .map(|(i, &salt)| DsrRecord {
+                cell: i % grid.len(),
+                results: synthetic_results(salt % 1_000_000),
+            })
+            .collect();
+        let file = DsrFile { grid, shard_index, shard_count: 4, records };
+        let bytes = file.encode();
+        let back = DsrFile::decode(&bytes).expect("round-trip decode");
+        prop_assert_eq!(&back, &file);
+        // Canonical: re-encoding reproduces the identical bytes.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn random_corruption_never_yields_a_wrong_file(
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let file = fixture_file();
+        let mut bytes = file.encode();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        // Either rejected (overwhelmingly likely: the checksum covers every
+        // byte) or — never — silently decoded to something else.
+        if let Ok(decoded) = DsrFile::decode(&bytes) {
+            prop_assert_eq!(decoded, file);
+        }
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = DsrFile::decode(&bytes);
+    }
+}
+
+#[test]
+fn decoding_garbage_with_valid_checksum_still_fails_cleanly() {
+    // A syntactically valid envelope around nonsense content exercises the
+    // structural checks behind the checksum.
+    let mut content = b"DSR\0".to_vec();
+    content.extend_from_slice(&DSR_FORMAT_VERSION.to_le_bytes());
+    content.extend_from_slice(&[0x05]); // grid_len = 5
+    content.extend_from_slice(b"hello"); // not JSON
+    content.extend_from_slice(&fnv1a64(b"hello").to_le_bytes());
+    content.extend_from_slice(&[0x00, 0x01, 0x00]); // shard 0 of 1, 0 strings
+    content.extend_from_slice(&[0x00]); // 0 records
+    let mut bytes = content.clone();
+    bytes.extend_from_slice(&fnv1a64(&content).to_le_bytes());
+    assert!(matches!(
+        DsrFile::decode(&bytes),
+        Err(DsrError::Malformed(_))
+    ));
+}

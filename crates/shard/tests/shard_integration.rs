@@ -1,0 +1,138 @@
+//! End-to-end sharding guarantees: a grid planned into shards, executed in
+//! arbitrary order (optionally on a shared cache), merges into a report that
+//! is **byte-identical** to a monolithic run — the subsystem's acceptance
+//! criterion.
+
+use dsmt_core::SimConfig;
+use dsmt_shard::{merge_shards, plan, run_shard, DsrFile, ShardManifest, ShardStrategy};
+use dsmt_sweep::{Axis, SweepEngine, SweepGrid, WorkloadSpec};
+
+fn grid() -> SweepGrid {
+    SweepGrid::new("integ", SimConfig::paper_multithreaded(1))
+        .with_workload(WorkloadSpec::spec_mix(1_500))
+        .with_axis(Axis::threads(&[1, 2]))
+        .with_axis(Axis::l2_latencies(&[1, 16, 64]))
+        .with_axis(Axis::decoupled(&[true, false]))
+        .with_budget(5_000)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsmt-shard-integ-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The core determinism claim, for every strategy: plan 4 shards, run them
+/// in arbitrary order, merge, and compare against a monolithic run —
+/// logical records, canonical JSON, and packaged `.dsr` bytes.
+#[test]
+fn four_shards_any_order_merge_bit_identical_to_monolithic() {
+    let grid = grid();
+    let mono = SweepEngine::new(2).without_cache().run(&grid);
+    let mono_dsr = DsrFile::from_report(&grid, &mono, 0, 1);
+
+    for strategy in [
+        ShardStrategy::Contiguous,
+        ShardStrategy::Strided,
+        ShardStrategy::Hashed,
+    ] {
+        let manifest = plan(&grid, 4, strategy).expect("plan");
+        // Arbitrary execution order, mixed worker counts per shard.
+        let order = [2usize, 0, 3, 1];
+        let mut shard_files = Vec::new();
+        for (slot, &index) in order.iter().enumerate() {
+            let engine = SweepEngine::new(1 + slot % 3).without_cache();
+            let run = run_shard(&manifest, index, &engine).expect("shard run");
+            shard_files.push(run.dsr);
+        }
+        let merged = merge_shards(&manifest, &shard_files).expect("merge");
+
+        assert_eq!(
+            merged.records, mono.records,
+            "strategy {strategy:?}: merged records differ from monolithic"
+        );
+        assert_eq!(
+            serde::to_string(&merged.records),
+            serde::to_string(&mono.records),
+            "strategy {strategy:?}: canonical JSON differs"
+        );
+        let merged_dsr = DsrFile::from_report(&grid, &merged, 0, 1);
+        assert_eq!(
+            merged_dsr.encode(),
+            mono_dsr.encode(),
+            "strategy {strategy:?}: packaged .dsr bytes differ"
+        );
+    }
+}
+
+/// Shards running against one shared cache dedup their work: the total
+/// simulated-cell count across all shards equals the grid size, and a
+/// second pass over any shard is a pure replay.
+#[test]
+fn shards_share_and_dedup_the_result_cache() {
+    let cache_dir = temp_dir("cache");
+    let grid = grid();
+    let manifest = plan(&grid, 4, ShardStrategy::Strided).expect("plan");
+
+    let engine = SweepEngine::new(2).with_cache_dir(&cache_dir);
+    let mut total_misses = 0;
+    let mut total_hits = 0;
+    for index in [3, 1, 0, 2] {
+        let run = run_shard(&manifest, index, &engine).expect("shard run");
+        total_misses += run.report.cache_misses;
+        total_hits += run.report.cache_hits;
+    }
+    assert_eq!(
+        total_misses,
+        grid.len(),
+        "every cell simulated exactly once across the 4 shards"
+    );
+    assert_eq!(total_hits, 0);
+
+    // Re-running a shard replays entirely from the shared cache...
+    let replay = run_shard(&manifest, 2, &engine).expect("replay");
+    assert_eq!(replay.report.cache_misses, 0);
+    assert_eq!(replay.report.cache_hits, manifest.shards[2].len());
+    // ...and a monolithic run over the same cache simulates nothing new,
+    // proving shard and monolithic cache keys agree.
+    let mono = engine.run(&grid);
+    assert_eq!(mono.cache_misses, 0);
+    assert_eq!(mono.cache_hits, grid.len());
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The full file-based workflow the CLI drives: manifest and `.dsr` files
+/// on disk, loaded back, merged, compared.
+#[test]
+fn on_disk_plan_run_merge_round_trip() {
+    let work_dir = temp_dir("files");
+    std::fs::create_dir_all(&work_dir).expect("work dir");
+    let grid = grid();
+    let manifest = plan(&grid, 2, ShardStrategy::Contiguous).expect("plan");
+    let manifest_path = work_dir.join("plan.json");
+    manifest.save(&manifest_path).expect("save manifest");
+
+    let loaded = ShardManifest::load(&manifest_path).expect("load manifest");
+    assert_eq!(loaded, manifest);
+
+    let engine = SweepEngine::new(2).without_cache();
+    for index in 0..loaded.num_shards() {
+        let run = run_shard(&loaded, index, &engine).expect("run");
+        run.dsr
+            .write(work_dir.join(dsmt_shard::shard_file_name(&loaded, index)))
+            .expect("write dsr");
+    }
+
+    let files: Vec<DsrFile> = (0..loaded.num_shards())
+        .map(|index| {
+            DsrFile::read(work_dir.join(dsmt_shard::shard_file_name(&loaded, index)))
+                .expect("read dsr")
+        })
+        .collect();
+    let merged = merge_shards(&loaded, &files).expect("merge");
+    let mono = SweepEngine::new(1).without_cache().run(&grid);
+    assert_eq!(merged.records, mono.records);
+
+    let _ = std::fs::remove_dir_all(&work_dir);
+}

@@ -14,10 +14,18 @@
 //!
 //! * `DSMT_SWEEP_CACHE=off` disables caching;
 //! * `DSMT_SWEEP_CACHE=<dir>` uses `<dir>`;
-//! * unset: `target/sweep-cache` under the current directory.
+//! * unset: `target/sweep-cache` under the current directory;
+//! * `DSMT_SWEEP_CACHE_MAX_BYTES=<n>` caps the cache size — sweeps garbage
+//!   collect least-recently-used entries down to the cap when they finish
+//!   (`dsmt sweep gc` runs the same collection on demand).
+//!
+//! Recency for the LRU order is the entry file's modification time: a cache
+//! *hit* re-touches the file, so entries that keep answering sweeps stay
+//! resident while abandoned parameter corners age out first.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::SystemTime;
 
 use dsmt_core::SimResults;
 use serde::{Deserialize, Serialize};
@@ -41,6 +49,24 @@ impl CacheMode {
             Ok(v) if v.eq_ignore_ascii_case("off") => CacheMode::Disabled,
             Ok(v) if !v.trim().is_empty() => CacheMode::Dir(PathBuf::from(v)),
             _ => CacheMode::Dir(PathBuf::from("target/sweep-cache")),
+        }
+    }
+
+    /// The size cap from `DSMT_SWEEP_CACHE_MAX_BYTES`, if set. An
+    /// unparseable value warns (on stderr) instead of silently disabling
+    /// eviction — a typo'd cap must not mean "unbounded".
+    #[must_use]
+    pub fn max_bytes_from_env() -> Option<u64> {
+        let v = std::env::var("DSMT_SWEEP_CACHE_MAX_BYTES").ok()?;
+        match v.trim().parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring DSMT_SWEEP_CACHE_MAX_BYTES=`{v}` \
+                     (expected a plain byte count, e.g. 1073741824)"
+                );
+                None
+            }
         }
     }
 }
@@ -112,12 +138,19 @@ impl ResultCache {
     }
 
     /// Looks up a scenario; any unreadable/mismatching entry is a miss.
+    /// A hit re-touches the entry file so the LRU eviction order (see
+    /// [`ResultCache::gc`]) tracks use, not just creation.
     #[must_use]
     pub fn lookup(&self, scenario: &Scenario) -> Option<SimResults> {
-        let text = std::fs::read_to_string(self.entry_path(scenario)).ok()?;
+        let path = self.entry_path(scenario);
+        let text = std::fs::read_to_string(&path).ok()?;
         let entry: CacheEntry = serde::from_str(&text).ok()?;
         if entry.schema != CACHE_SCHEMA_VERSION || entry.scenario != *scenario {
             return None;
+        }
+        // Best-effort LRU touch; a failure only weakens eviction ordering.
+        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+            let _ = f.set_modified(SystemTime::now());
         }
         Some(entry.results)
     }
@@ -156,14 +189,93 @@ impl ResultCache {
     /// Number of entries currently on disk (diagnostics).
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.entries().len()
     }
+
+    /// Metadata for every entry on disk, least recently used first.
+    #[must_use]
+    pub fn entries(&self) -> Vec<CacheEntryInfo> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<CacheEntryInfo> = rd
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some(CacheEntryInfo {
+                    key: e.path().file_stem()?.to_string_lossy().into_owned(),
+                    bytes: meta.len(),
+                    modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                })
+            })
+            .collect();
+        // Tie-break equal mtimes (coarse filesystems) by key so the order —
+        // and hence eviction — is deterministic.
+        out.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Total bytes held by cache entries.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.bytes).sum()
+    }
+
+    /// Evicts least-recently-used entries until the cache fits in
+    /// `max_bytes`. Returns what was examined, evicted and kept.
+    ///
+    /// Eviction is best-effort: an entry that cannot be removed is counted
+    /// as kept, and concurrent writers may push the cache back over the cap
+    /// — the next sweep's collection catches it.
+    pub fn gc(&self, max_bytes: u64) -> GcOutcome {
+        let entries = self.entries();
+        let mut outcome = GcOutcome {
+            examined: entries.len(),
+            ..GcOutcome::default()
+        };
+        let total: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut excess = total.saturating_sub(max_bytes);
+        for entry in entries {
+            let evicted = excess > 0
+                && std::fs::remove_file(self.dir.join(format!("{}.json", entry.key))).is_ok();
+            if evicted {
+                excess = excess.saturating_sub(entry.bytes);
+                outcome.evicted += 1;
+                outcome.evicted_bytes += entry.bytes;
+            } else {
+                outcome.kept += 1;
+                outcome.kept_bytes += entry.bytes;
+            }
+        }
+        outcome
+    }
+}
+
+/// On-disk metadata of one cache entry (see [`ResultCache::entries`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntryInfo {
+    /// The scenario cache key (hex file stem).
+    pub key: String,
+    /// Entry file size in bytes.
+    pub bytes: u64,
+    /// Last use (mtime: written on store, re-touched on hit).
+    pub modified: SystemTime,
+}
+
+/// What a [`ResultCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries present when the pass started.
+    pub examined: usize,
+    /// Entries removed.
+    pub evicted: usize,
+    /// Bytes freed.
+    pub evicted_bytes: u64,
+    /// Entries left resident.
+    pub kept: usize,
+    /// Bytes left resident.
+    pub kept_bytes: u64,
 }
 
 #[cfg(test)]
@@ -231,6 +343,65 @@ mod tests {
         assert_eq!(repaired, results);
         assert_eq!((stats.hits(), stats.misses()), (0, 1));
         assert_eq!(cache.lookup(&s).expect("repaired"), results);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_report_sizes_and_lru_order() {
+        let cache = temp_cache("entries");
+        for seed in 0..3 {
+            let s = scenario(seed);
+            cache.store(&s, &s.execute());
+            // Coarse-mtime filesystems need distinct timestamps for a
+            // deterministic recency check.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| e.bytes > 0));
+        assert!(entries.windows(2).all(|w| w[0].modified <= w[1].modified));
+        assert_eq!(
+            cache.total_bytes(),
+            entries.iter().map(|e| e.bytes).sum::<u64>()
+        );
+        // A hit on the oldest entry re-touches it to the back of the queue.
+        let oldest = entries[0].key.clone();
+        let hit = cache.lookup(&scenario(0)).expect("hit");
+        assert_eq!(hit, scenario(0).execute());
+        let after = cache.entries();
+        assert_eq!(after.last().expect("entries").key, oldest);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_down_to_cap() {
+        let cache = temp_cache("gc");
+        for seed in 10..14 {
+            let s = scenario(seed);
+            cache.store(&s, &s.execute());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let entries = cache.entries();
+        let total = cache.total_bytes();
+        let newest = entries.last().expect("entries").clone();
+        // Cap to the newest entry's size: everything older must go.
+        let outcome = cache.gc(newest.bytes);
+        assert_eq!(outcome.examined, 4);
+        assert_eq!(outcome.evicted, 3);
+        assert_eq!(outcome.kept, 1);
+        assert_eq!(outcome.evicted_bytes + outcome.kept_bytes, total);
+        let left = cache.entries();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].key, newest.key);
+        // The survivor still hits.
+        assert!(cache.lookup(&scenario(13)).is_some());
+        // A generous cap evicts nothing.
+        let outcome = cache.gc(u64::MAX);
+        assert_eq!((outcome.evicted, outcome.kept), (0, 1));
+        // A zero cap empties the cache.
+        let outcome = cache.gc(0);
+        assert_eq!(outcome.evicted, 1);
+        assert_eq!(cache.entry_count(), 0);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -80,13 +80,7 @@ impl SweepEngine {
     /// As for [`SweepEngine::run`].
     #[must_use]
     pub fn run_many(&self, grids: &[SweepGrid]) -> Vec<SweepReport> {
-        let cache =
-            match &self.cache {
-                CacheMode::Disabled => None,
-                CacheMode::Dir(dir) => Some(ResultCache::open(dir).unwrap_or_else(|e| {
-                    panic!("cannot open sweep cache at {}: {e}", dir.display())
-                })),
-            };
+        let cache = self.open_cache();
         let stats: Vec<CacheStats> = grids.iter().map(|_| CacheStats::default()).collect();
         // (grid index, cell) jobs, concatenated in grid order.
         let jobs: Vec<(usize, crate::Cell)> = grids
@@ -96,32 +90,12 @@ impl SweepEngine {
             .collect();
 
         let records = pool::run_indexed(&jobs, self.workers, |_, (gi, cell)| {
-            let stats = &stats[*gi];
-            let cell_started = Instant::now();
-            let results = match &cache {
-                Some(cache) => cache.run_cached(&cell.scenario, stats),
-                None => {
-                    let r = cell.scenario.execute();
-                    stats.count_uncached_miss();
-                    r
-                }
-            };
-            let perf = CellPerf::new(&results, cell_started.elapsed().as_secs_f64());
-            RunRecord {
-                cell: cell.index,
-                grid: grids[*gi].name.clone(),
-                workload: cell.workload_label.clone(),
-                labels: cell.labels.clone(),
-                key: cell.scenario.cache_key_hex(),
-                scenario: cell.scenario.clone(),
-                results,
-                perf,
-            }
+            execute_cell(cache.as_ref(), &stats[*gi], &grids[*gi].name, cell)
         });
         // Split the flat record list back into per-grid reports. Jobs were
         // concatenated in grid order, and run_indexed preserves input order.
         let mut records = records.into_iter();
-        grids
+        let reports = grids
             .iter()
             .zip(&stats)
             .map(|(grid, stats)| {
@@ -139,13 +113,113 @@ impl SweepEngine {
                     wall_secs,
                 }
             })
-            .collect()
+            .collect();
+        Self::maybe_gc(cache.as_ref());
+        reports
+    }
+
+    /// Runs only the cells of `grid` selected by `indices` (original grid
+    /// positions), returning the records in the order given. This is the
+    /// shard-execution entry point: a manifest hands each host a slice of
+    /// the cell space, the shared cache dedups any overlap, and records keep
+    /// their grid-order `cell` indices so shards reassemble exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, plus the cases of
+    /// [`SweepEngine::run`].
+    #[must_use]
+    pub fn run_subset(&self, grid: &SweepGrid, indices: &[usize]) -> SweepReport {
+        let cache = self.open_cache();
+        let stats = CacheStats::default();
+        let all_cells = grid.cells();
+        let cells: Vec<&crate::Cell> = indices
+            .iter()
+            .map(|&i| {
+                all_cells.get(i).unwrap_or_else(|| {
+                    panic!(
+                        "cell index {i} out of range (grid has {} cells)",
+                        all_cells.len()
+                    )
+                })
+            })
+            .collect();
+        let records = pool::run_indexed(&cells, self.workers, |_, cell| {
+            execute_cell(cache.as_ref(), &stats, &grid.name, cell)
+        });
+        let wall_secs = records.iter().map(|r| r.perf.wall_secs).sum();
+        let report = SweepReport {
+            grid: grid.name.clone(),
+            records,
+            cache_hits: stats.hits(),
+            cache_misses: stats.misses(),
+            wall_secs,
+        };
+        Self::maybe_gc(cache.as_ref());
+        report
+    }
+
+    fn open_cache(&self) -> Option<ResultCache> {
+        match &self.cache {
+            CacheMode::Disabled => None,
+            CacheMode::Dir(dir) => {
+                Some(ResultCache::open(dir).unwrap_or_else(|e| {
+                    panic!("cannot open sweep cache at {}: {e}", dir.display())
+                }))
+            }
+        }
+    }
+
+    /// Applies the `DSMT_SWEEP_CACHE_MAX_BYTES` cap, if configured, after a
+    /// sweep finishes (so a sweep never evicts entries it is about to hit).
+    fn maybe_gc(cache: Option<&ResultCache>) {
+        if let (Some(cache), Some(max_bytes)) = (cache, CacheMode::max_bytes_from_env()) {
+            let outcome = cache.gc(max_bytes);
+            if outcome.evicted > 0 {
+                eprintln!(
+                    "sweep cache gc: evicted {} entries ({} bytes) to fit {} bytes",
+                    outcome.evicted, outcome.evicted_bytes, max_bytes
+                );
+            }
+        }
     }
 }
 
 impl Default for SweepEngine {
     fn default() -> Self {
         SweepEngine::from_env()
+    }
+}
+
+/// Produces one cell's [`RunRecord`] through the (optional) cache — the
+/// **single** record-construction path shared by [`SweepEngine::run_many`]
+/// and [`SweepEngine::run_subset`], so sharded and monolithic runs cannot
+/// drift apart and break their bit-identity guarantee.
+fn execute_cell(
+    cache: Option<&ResultCache>,
+    stats: &CacheStats,
+    grid_name: &str,
+    cell: &crate::Cell,
+) -> RunRecord {
+    let cell_started = Instant::now();
+    let results = match cache {
+        Some(cache) => cache.run_cached(&cell.scenario, stats),
+        None => {
+            let r = cell.scenario.execute();
+            stats.count_uncached_miss();
+            r
+        }
+    };
+    let perf = CellPerf::new(&results, cell_started.elapsed().as_secs_f64());
+    RunRecord {
+        cell: cell.index,
+        grid: grid_name.to_string(),
+        workload: cell.workload_label.clone(),
+        labels: cell.labels.clone(),
+        key: cell.scenario.cache_key_hex(),
+        scenario: cell.scenario.clone(),
+        results,
+        perf,
     }
 }
 
@@ -207,5 +281,51 @@ mod tests {
         assert_eq!(report.grid, "order");
         let cells: Vec<usize> = report.records.iter().map(|r| r.cell).collect();
         assert_eq!(cells, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_subset_matches_the_full_run_cell_for_cell() {
+        let grid = tiny_grid("subset");
+        let full = SweepEngine::new(2).without_cache().run(&grid);
+        let subset = SweepEngine::new(2)
+            .without_cache()
+            .run_subset(&grid, &[4, 1, 3]);
+        assert_eq!(subset.records.len(), 3);
+        assert_eq!(subset.cache_misses, 3);
+        for (record, &want) in subset.records.iter().zip(&[4usize, 1, 3]) {
+            assert_eq!(record.cell, want);
+            assert_eq!(record, &full.records[want]);
+        }
+        // The empty subset is a valid (empty) report.
+        let empty = SweepEngine::new(2).without_cache().run_subset(&grid, &[]);
+        assert!(empty.records.is_empty());
+        assert_eq!(empty.grid, "subset");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn run_subset_rejects_out_of_range_indices() {
+        let grid = tiny_grid("subset-oob");
+        let _ = SweepEngine::new(1).without_cache().run_subset(&grid, &[6]);
+    }
+
+    #[test]
+    fn run_subset_shares_the_cache_with_full_runs() {
+        let dir =
+            std::env::temp_dir().join(format!("dsmt-engine-subset-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid("subset-cache");
+        let engine = SweepEngine::new(2).with_cache_dir(&dir);
+        let warm = engine.run_subset(&grid, &[0, 1, 2]);
+        assert_eq!(warm.cache_misses, 3);
+        // A full run replays those three cells from the cache.
+        let full = engine.run(&grid);
+        assert_eq!(full.cache_hits, 3);
+        assert_eq!(full.cache_misses, 3);
+        // And re-running the subset is a pure replay.
+        let replay = engine.run_subset(&grid, &[2, 0]);
+        assert_eq!((replay.cache_hits, replay.cache_misses), (2, 0));
+        assert_eq!(replay.records[0], full.records[2]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

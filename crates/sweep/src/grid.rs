@@ -1,6 +1,6 @@
 //! Declarative cartesian sweep spaces over `SimConfig` knobs and workloads.
 
-use dsmt_core::SimConfig;
+use dsmt_core::{FetchPolicy, SimConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::{splitmix64, Scenario, WorkloadSpec};
@@ -32,6 +32,8 @@ pub enum Setting {
     L1Associativity(usize),
     /// Threads allowed to fetch per cycle (the I-COUNT fetch gang size).
     FetchThreadsPerCycle(usize),
+    /// Fetch thread-selection policy (I-COUNT vs plain round-robin).
+    FetchPolicy(FetchPolicy),
 }
 
 impl Setting {
@@ -52,6 +54,7 @@ impl Setting {
             }
             Setting::L1Associativity(a) => config.mem.l1d.associativity = a,
             Setting::FetchThreadsPerCycle(n) => config.fetch_threads_per_cycle = n,
+            Setting::FetchPolicy(p) => config.fetch_policy = p,
         }
         config
     }
@@ -69,6 +72,7 @@ impl Setting {
             Setting::UnitSplit { .. } => "unit_split",
             Setting::L1Associativity(_) => "l1_associativity",
             Setting::FetchThreadsPerCycle(_) => "fetch_threads",
+            Setting::FetchPolicy(_) => "fetch_policy",
         }
     }
 
@@ -85,6 +89,7 @@ impl Setting {
             Setting::UnitSplit { ap, ep } => format!("{ap}ap+{ep}ep"),
             Setting::L1Associativity(a) => a.to_string(),
             Setting::FetchThreadsPerCycle(n) => n.to_string(),
+            Setting::FetchPolicy(p) => p.label().to_string(),
         }
     }
 }
@@ -168,6 +173,13 @@ impl Axis {
                 .map(|&v| Setting::L1Associativity(v))
                 .collect(),
         )
+    }
+
+    /// A fetch-policy axis (the paper's Section 3.1 I-COUNT vs round-robin
+    /// discussion).
+    #[must_use]
+    pub fn fetch_policies(values: &[FetchPolicy]) -> Self {
+        Axis::of(values.iter().map(|&v| Setting::FetchPolicy(v)).collect())
     }
 }
 
@@ -445,9 +457,41 @@ mod tests {
         );
         assert_eq!(
             Setting::FetchThreadsPerCycle(1)
-                .apply(base)
+                .apply(base.clone())
                 .fetch_threads_per_cycle,
             1
         );
+        assert_eq!(
+            Setting::FetchPolicy(FetchPolicy::RoundRobin)
+                .apply(base)
+                .fetch_policy,
+            FetchPolicy::RoundRobin
+        );
+    }
+
+    #[test]
+    fn fetch_policy_axis_sweeps_the_policy() {
+        let axis = Axis::fetch_policies(&[FetchPolicy::ICount, FetchPolicy::RoundRobin]);
+        assert_eq!(axis.name, "fetch_policy");
+        let g = SweepGrid::new("fp", SimConfig::paper_multithreaded(2))
+            .with_workload(WorkloadSpec::spec_mix(1_000))
+            .with_axis(axis)
+            .with_budget(2_000);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].scenario.config.fetch_policy, FetchPolicy::ICount);
+        assert_eq!(
+            cells[1].scenario.config.fetch_policy,
+            FetchPolicy::RoundRobin
+        );
+        assert_eq!(
+            cells[1].labels,
+            vec![("fetch_policy".to_string(), "round-robin".to_string())]
+        );
+        // Both policies simulate, and the policy changes the cache key.
+        assert_ne!(cells[0].scenario.cache_key(), cells[1].scenario.cache_key());
+        let a = cells[0].scenario.execute();
+        let b = cells[1].scenario.execute();
+        assert!(a.ipc() > 0.0 && b.ipc() > 0.0);
     }
 }

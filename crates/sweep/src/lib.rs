@@ -50,7 +50,7 @@ pub mod pool;
 pub mod record;
 pub mod scenario;
 
-pub use cache::{CacheMode, CacheStats, ResultCache};
+pub use cache::{CacheEntryInfo, CacheMode, CacheStats, GcOutcome, ResultCache};
 pub use engine::SweepEngine;
 pub use grid::{Axis, Cell, SeedMode, Setting, SweepGrid};
 pub use record::{CellPerf, RunRecord, SweepReport};
@@ -58,7 +58,8 @@ pub use scenario::{Scenario, WorkloadSpec};
 
 /// Bumped whenever the cache key derivation or the serialized record layout
 /// changes; stale entries then miss instead of deserializing garbage.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// Version 2: `SimConfig` gained the `fetch_policy` knob.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Stable 64-bit FNV-1a hash used for cache keys and seed derivation.
 #[must_use]

@@ -2,7 +2,9 @@
 //!
 //! The paper fetches from two threads per cycle, each supplying up to eight
 //! consecutive instructions, choosing "those with less instructions pending
-//! to be dispatched (similar to the RR-2.8 with I-COUNT schemes)".
+//! to be dispatched (similar to the RR-2.8 with I-COUNT schemes)". That
+//! load-aware scheme is [`icount_pick`]; the plain rotation it is compared
+//! against in Section 3.1 (RR-2.8 without I-COUNT) is [`round_robin_pick`].
 
 /// Selects up to `max_threads` eligible threads with the fewest pending
 /// (fetched but not yet dispatched) instructions.
@@ -66,6 +68,40 @@ pub fn icount_pick_into(
     // sort is deterministic.
     out.sort_unstable_by_key(|&i| (pending[i], (i + n - rotation % n) % n));
     out.truncate(max_threads);
+}
+
+/// Selects up to `max_threads` eligible threads by plain rotation: thread
+/// `rotation % n` has top priority this cycle, then indices wrap upward.
+/// Pending-instruction counts are ignored — this is the paper's RR-2.8
+/// scheme *without* I-COUNT, the baseline its fetch discussion compares
+/// against.
+#[must_use]
+pub fn round_robin_pick(eligible: &[bool], max_threads: usize, rotation: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    round_robin_pick_into(eligible, max_threads, rotation, &mut out);
+    out
+}
+
+/// [`round_robin_pick`] writing into a caller-owned buffer (cleared first):
+/// the allocation-free form used by the simulator hot loop.
+pub fn round_robin_pick_into(
+    eligible: &[bool],
+    max_threads: usize,
+    rotation: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let n = eligible.len();
+    if n == 0 || max_threads == 0 {
+        return;
+    }
+    let start = rotation % n;
+    out.extend(
+        (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&t| eligible[t])
+            .take(max_threads),
+    );
 }
 
 #[cfg(test)]
@@ -140,5 +176,52 @@ mod tests {
     #[test]
     fn empty_inputs_return_empty() {
         assert_eq!(icount_pick(&[], &[], 2, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn round_robin_rotates_priority() {
+        let eligible = [true; 4];
+        assert_eq!(round_robin_pick(&eligible, 2, 0), vec![0, 1]);
+        assert_eq!(round_robin_pick(&eligible, 2, 1), vec![1, 2]);
+        assert_eq!(round_robin_pick(&eligible, 2, 3), vec![3, 0]);
+        assert_eq!(round_robin_pick(&eligible, 2, 7), vec![3, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_ineligible_threads() {
+        let eligible = [false, true, false, true];
+        assert_eq!(round_robin_pick(&eligible, 2, 0), vec![1, 3]);
+        assert_eq!(round_robin_pick(&eligible, 2, 2), vec![3, 1]);
+        assert_eq!(round_robin_pick(&eligible, 1, 2), vec![3]);
+        assert_eq!(round_robin_pick(&[false; 4], 2, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn round_robin_ignores_load_unlike_icount() {
+        // Thread 0 is far more loaded, but round-robin at rotation 0 still
+        // fetches it first; I-COUNT prefers the idle threads.
+        let pending = [100, 0, 0, 0];
+        let eligible = [true; 4];
+        assert_eq!(round_robin_pick(&eligible, 2, 0), vec![0, 1]);
+        assert_eq!(icount_pick(&pending, &eligible, 2, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn round_robin_edge_cases() {
+        assert_eq!(round_robin_pick(&[], 2, 5), Vec::<usize>::new());
+        assert_eq!(round_robin_pick(&[true], 0, 0), Vec::<usize>::new());
+        assert_eq!(round_robin_pick(&[true], 4, 9), vec![0]);
+    }
+
+    #[test]
+    fn round_robin_fairness_over_many_cycles() {
+        let eligible = [true; 4];
+        let mut counts = [0usize; 4];
+        for cycle in 0..400 {
+            for t in round_robin_pick(&eligible, 2, cycle) {
+                counts[t] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 200), "counts {counts:?}");
     }
 }

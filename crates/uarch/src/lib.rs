@@ -33,7 +33,7 @@ mod rob;
 mod wheel;
 
 pub use arbiter::RoundRobin;
-pub use fetch_policy::{icount_pick, icount_pick_into};
+pub use fetch_policy::{icount_pick, icount_pick_into, round_robin_pick, round_robin_pick_into};
 pub use fu::FuPool;
 pub use predictor::{BranchPredictor, PredictorStats};
 pub use queue::BoundedQueue;

@@ -1,0 +1,481 @@
+//! `dsmt` — the unified command-line front end for the sweep subsystem.
+//!
+//! Makes the sharded-sweep workflow scriptable across hosts that share only
+//! a filesystem:
+//!
+//! ```text
+//! dsmt shard plan <grid> --shards N [--strategy S] [--out plan.json]
+//! dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]
+//! dsmt shard merge <plan.json> [--dir DIR] [--out r.json] [--csv r.csv] [--dsr r.dsr]
+//! dsmt sweep run <grid> [--workers W] [--out r.json] [--csv r.csv] [--dsr r.dsr]
+//! dsmt sweep ls
+//! dsmt sweep gc [--max-bytes N]
+//! dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
+//! ```
+//!
+//! `<grid>` is either a path to a `SweepGrid` JSON file or a built-in name:
+//! `demo`, `fetch-policy`, the figure grids (`fig1`, `fig3`, `fig4`,
+//! `fig5-l2-16`, `fig5-l2-64`) and the ablations (`ablation-iq-depth`,
+//! `ablation-mshr`, `ablation-unit-split`, `ablation-l1-assoc`). Built-in
+//! figure grids honour `DSMT_INSTS`; caching honours `DSMT_SWEEP_CACHE`
+//! and `DSMT_SWEEP_CACHE_MAX_BYTES` like every other binary.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use dsmt_core::{FetchPolicy, SimConfig};
+use dsmt_experiments::{ablations, fig1, fig3, fig4, fig5, ExperimentParams};
+use dsmt_shard::{
+    merge_shards, plan, run_shard, shard_file_name, DsrFile, ShardManifest, ShardStrategy,
+};
+use dsmt_sweep::{
+    export, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport, WorkloadSpec,
+};
+
+const USAGE: &str = "\
+dsmt — sharded sweeps, cache tooling and report export
+
+USAGE:
+  dsmt shard plan <grid> --shards N [--strategy contiguous|strided|hashed] [--out plan.json]
+  dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]
+  dsmt shard merge <plan.json> [--dir DIR] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
+  dsmt sweep run <grid> [--workers W] [--out report.json] [--csv report.csv] [--dsr report.dsr]
+  dsmt sweep ls
+  dsmt sweep gc [--max-bytes N]
+  dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
+
+GRIDS:
+  a path to a SweepGrid JSON file, or a built-in name:
+  demo, fetch-policy, fig1, fig3, fig4, fig5-l2-16, fig5-l2-64,
+  ablation-iq-depth, ablation-mshr, ablation-unit-split, ablation-l1-assoc
+
+ENVIRONMENT:
+  DSMT_INSTS                  instructions per cell for built-in figure grids
+  DSMT_SWEEP_CACHE            result cache dir, or `off`
+  DSMT_SWEEP_CACHE_MAX_BYTES  LRU size cap applied after sweeps and by `sweep gc`
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("dsmt: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("shard") => shard_cmd(&args[1..]),
+        Some("sweep") => sweep_cmd(&args[1..]),
+        Some("report") => report_cmd(&args[1..]),
+        None | Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing (all flags take a value; positionals carry the rest).
+
+struct Parsed {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn usize_flag(&self, name: &str) -> Result<Option<usize>, String> {
+        self.flag(name)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{name} expects a number, got `{v}`"))
+            })
+            .transpose()
+    }
+}
+
+fn parse(args: &[String], allowed: &[&str]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        flags: HashMap::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag `--{name}`"));
+            }
+            if name == "canonical" {
+                // The only boolean flag (accepted by `report` alone).
+                parsed.flags.insert(name.to_string(), "1".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} expects a value"))?;
+            parsed.flags.insert(name.to_string(), value.clone());
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+fn engine(workers: Option<usize>) -> SweepEngine {
+    match workers {
+        Some(w) => SweepEngine::new(w),
+        None => SweepEngine::from_env(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid resolution.
+
+fn builtin_grids() -> Vec<SweepGrid> {
+    let params = ExperimentParams::from_env();
+    let mut grids = vec![demo_grid(), fetch_policy_grid(&params)];
+    grids.push(fig1::grid(&params));
+    grids.push(fig3::grid(&params));
+    grids.push(fig4::grid(&params));
+    grids.extend(fig5::grids(&params));
+    grids.extend(ablations::grids(&params));
+    grids
+}
+
+/// A 12-cell grid shaped like the `bench_sweep` benchmark: small enough for
+/// smoke tests, rich enough (three axes) to exercise sharding.
+fn demo_grid() -> SweepGrid {
+    SweepGrid::new(
+        "demo",
+        SimConfig::paper_multithreaded(1).with_queue_scaling(true),
+    )
+    .with_workload(WorkloadSpec::spec_mix(3_000))
+    .with_axis(Axis::threads(&[1, 2]))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_axis(Axis::l2_latencies(&[16, 64, 256]))
+    .with_budget(10_000)
+}
+
+/// The Section 3.1 fetch discussion as a sweep: I-COUNT vs round-robin
+/// across thread counts at the paper's 16-cycle L2.
+fn fetch_policy_grid(params: &ExperimentParams) -> SweepGrid {
+    SweepGrid::new("fetch-policy", SimConfig::paper_multithreaded(1))
+        .with_workload(params.spec_mix())
+        .with_axis(Axis::threads(&[1, 2, 4, 6]))
+        .with_axis(Axis::fetch_policies(&[
+            FetchPolicy::ICount,
+            FetchPolicy::RoundRobin,
+        ]))
+        .with_seed(params.seed)
+        .with_budget(params.instructions_per_point)
+}
+
+fn resolve_grid(spec: &str) -> Result<SweepGrid, String> {
+    if Path::new(spec).is_file() {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        return serde::from_str(&text).map_err(|e| format!("{spec}: not a SweepGrid JSON: {e}"));
+    }
+    let grids = builtin_grids();
+    if let Some(grid) = grids.iter().find(|g| g.name == spec) {
+        return Ok(grid.clone());
+    }
+    let names: Vec<&str> = grids.iter().map(|g| g.name.as_str()).collect();
+    Err(format!(
+        "`{spec}` is neither a grid JSON file nor a built-in grid (available: {})",
+        names.join(", ")
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// dsmt shard ...
+
+fn shard_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("plan") => shard_plan(&args[1..]),
+        Some("run") => shard_run(&args[1..]),
+        Some("merge") => shard_merge(&args[1..]),
+        _ => Err(format!("usage: dsmt shard plan|run|merge ...\n\n{USAGE}")),
+    }
+}
+
+fn shard_plan(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["shards", "strategy", "out"])?;
+    let [grid_spec] = p.positional.as_slice() else {
+        return Err("usage: dsmt shard plan <grid> --shards N [--strategy S] [--out FILE]".into());
+    };
+    let grid = resolve_grid(grid_spec)?;
+    let shards = p
+        .usize_flag("shards")?
+        .ok_or("--shards is required for `shard plan`")?;
+    let strategy = match p.flag("strategy") {
+        None => ShardStrategy::Contiguous,
+        Some(name) => ShardStrategy::from_name(name)
+            .ok_or_else(|| format!("unknown strategy `{name}` (contiguous|strided|hashed)"))?,
+    };
+    let manifest = plan(&grid, shards, strategy).map_err(|e| e.to_string())?;
+    let out = p
+        .flag("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{}.plan.json", grid.name)));
+    manifest
+        .save(&out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "planned `{}`: {} cells -> {} shards ({}), grid hash {}",
+        grid.name,
+        grid.len(),
+        manifest.num_shards(),
+        strategy.name(),
+        manifest.grid_hash,
+    );
+    for (i, cells) in manifest.shards.iter().enumerate() {
+        println!(
+            "  shard {i}: {:>4} cells -> {}",
+            cells.len(),
+            shard_file_name(&manifest, i)
+        );
+    }
+    println!("manifest: {}", out.display());
+    Ok(())
+}
+
+fn shard_run(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["index", "out-dir", "workers"])?;
+    let [plan_path] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]".into(),
+        );
+    };
+    let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
+    let index = p
+        .usize_flag("index")?
+        .ok_or("--index is required for `shard run`")?;
+    let out_dir = PathBuf::from(p.flag("out-dir").unwrap_or("."));
+    let engine = engine(p.usize_flag("workers")?);
+    let run = run_shard(&manifest, index, &engine).map_err(|e| e.to_string())?;
+    let out = out_dir.join(shard_file_name(&manifest, index));
+    run.dsr.write(&out).map_err(|e| e.to_string())?;
+    println!(
+        "shard {index}/{}: {} cells ({} cached, {} simulated) in {:.2}s -> {}",
+        manifest.num_shards(),
+        run.report.records.len(),
+        run.report.cache_hits,
+        run.report.cache_misses,
+        run.report.wall_secs,
+        out.display(),
+    );
+    Ok(())
+}
+
+fn shard_merge(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["dir", "out", "csv", "dsr"])?;
+    let [plan_path] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt shard merge <plan.json> [--dir DIR] [--out FILE] [--csv FILE] [--dsr FILE]"
+                .into(),
+        );
+    };
+    let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
+    let dir = PathBuf::from(p.flag("dir").unwrap_or("."));
+    let mut files = Vec::new();
+    for index in 0..manifest.num_shards() {
+        let path = dir.join(shard_file_name(&manifest, index));
+        files.push(DsrFile::read(&path).map_err(|e| e.to_string())?);
+    }
+    let report = merge_shards(&manifest, &files).map_err(|e| e.to_string())?;
+    println!(
+        "merged {} shards -> {} cells of `{}`",
+        manifest.num_shards(),
+        report.records.len(),
+        report.grid,
+    );
+    write_outputs(&report, Some(&manifest.grid), &p)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// dsmt sweep ...
+
+fn sweep_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => sweep_run(&args[1..]),
+        Some("ls") => sweep_ls(),
+        Some("gc") => sweep_gc(&args[1..]),
+        _ => Err(format!("usage: dsmt sweep run|ls|gc ...\n\n{USAGE}")),
+    }
+}
+
+fn sweep_run(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["workers", "out", "csv", "dsr"])?;
+    let [grid_spec] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt sweep run <grid> [--workers W] [--out FILE] [--csv FILE] [--dsr FILE]"
+                .into(),
+        );
+    };
+    let grid = resolve_grid(grid_spec)?;
+    let report = engine(p.usize_flag("workers")?).run(&grid);
+    println!(
+        "`{}`: {} cells ({} cached, {} simulated) in {:.2}s",
+        report.grid,
+        report.records.len(),
+        report.cache_hits,
+        report.cache_misses,
+        report.wall_secs,
+    );
+    write_outputs(&report, Some(&grid), &p)?;
+    Ok(())
+}
+
+fn open_env_cache() -> Result<ResultCache, String> {
+    match CacheMode::from_env() {
+        CacheMode::Disabled => Err("the sweep cache is disabled (DSMT_SWEEP_CACHE=off)".into()),
+        CacheMode::Dir(dir) => {
+            ResultCache::open(&dir).map_err(|e| format!("{}: {e}", dir.display()))
+        }
+    }
+}
+
+fn sweep_ls() -> Result<(), String> {
+    let cache = open_env_cache()?;
+    let entries = cache.entries();
+    let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    println!(
+        "cache: {} ({} entries, {} bytes)",
+        cache.dir().display(),
+        entries.len(),
+        total
+    );
+    let now = std::time::SystemTime::now();
+    for e in &entries {
+        let age = now
+            .duration_since(e.modified)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        println!(
+            "  {}  {:>8} bytes  last used {:>6}s ago",
+            e.key, e.bytes, age
+        );
+    }
+    if let Some(cap) = CacheMode::max_bytes_from_env() {
+        let status = if total > cap { "OVER" } else { "within" };
+        println!("cap: DSMT_SWEEP_CACHE_MAX_BYTES={cap} ({status} cap)");
+    }
+    Ok(())
+}
+
+fn sweep_gc(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["max-bytes"])?;
+    let cap = match p.flag("max-bytes") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--max-bytes expects a number, got `{v}`"))?,
+        None => CacheMode::max_bytes_from_env()
+            .ok_or("no cap given: pass --max-bytes or set DSMT_SWEEP_CACHE_MAX_BYTES")?,
+    };
+    let cache = open_env_cache()?;
+    let outcome = cache.gc(cap);
+    println!(
+        "gc {}: examined {}, evicted {} ({} bytes), kept {} ({} bytes, cap {})",
+        cache.dir().display(),
+        outcome.examined,
+        outcome.evicted,
+        outcome.evicted_bytes,
+        outcome.kept,
+        outcome.kept_bytes,
+        cap,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// dsmt report ...
+
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["json", "csv", "canonical"])?;
+    let [path] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt report <file.dsr|report.json> [--json FILE] [--csv FILE] [--canonical]"
+                .into(),
+        );
+    };
+    let (report, grid) = load_report(path)?;
+    if p.flag("canonical").is_some() {
+        // Records only — the machine-independent identity of the sweep —
+        // for byte-exact diffing between sharded and monolithic runs.
+        println!("{}", serde::to_string_pretty(&report.records));
+    } else {
+        print_report_summary(&report);
+    }
+    write_outputs(&report, grid.as_ref(), &p)?;
+    Ok(())
+}
+
+fn load_report(path: &str) -> Result<(SweepReport, Option<SweepGrid>), String> {
+    if path.ends_with(".dsr") {
+        let file = DsrFile::read(path).map_err(|e| e.to_string())?;
+        let report = file.to_report().map_err(|e| e.to_string())?;
+        return Ok((report, Some(file.grid)));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report: SweepReport =
+        serde::from_str(&text).map_err(|e| format!("{path}: not a SweepReport JSON: {e}"))?;
+    Ok((report, None))
+}
+
+fn print_report_summary(report: &SweepReport) {
+    println!("grid `{}`: {} cells", report.grid, report.records.len());
+    let axes = report.axis_names();
+    if !axes.is_empty() {
+        println!("axes: {}", axes.join(", "));
+    }
+    if report.records.is_empty() {
+        return;
+    }
+    let mut best = &report.records[0];
+    let mut worst = &report.records[0];
+    for r in &report.records {
+        if r.results.ipc() > best.results.ipc() {
+            best = r;
+        }
+        if r.results.ipc() < worst.results.ipc() {
+            worst = r;
+        }
+    }
+    let describe = |r: &dsmt_sweep::RunRecord| {
+        let labels: Vec<String> = r.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("cell {} [{}]", r.cell, labels.join(", "))
+    };
+    println!(
+        "ipc: {:.3} ({}) .. {:.3} ({})",
+        worst.results.ipc(),
+        describe(worst),
+        best.results.ipc(),
+        describe(best)
+    );
+}
+
+/// Writes the report in whichever formats the flags asked for.
+fn write_outputs(report: &SweepReport, grid: Option<&SweepGrid>, p: &Parsed) -> Result<(), String> {
+    if let Some(out) = p.flag("out").or_else(|| p.flag("json")) {
+        export::write_json(report, out).map_err(|e| format!("{out}: {e}"))?;
+        println!("json: {out}");
+    }
+    if let Some(out) = p.flag("csv") {
+        export::write_csv(report, out).map_err(|e| format!("{out}: {e}"))?;
+        println!("csv: {out}");
+    }
+    if let Some(out) = p.flag("dsr") {
+        let grid = grid.ok_or("--dsr needs the grid, which this input does not carry")?;
+        DsrFile::from_report(grid, report, 0, 1)
+            .write(out)
+            .map_err(|e| e.to_string())?;
+        println!("dsr: {out}");
+    }
+    Ok(())
+}
