@@ -15,7 +15,10 @@
 //!   shards have run — on any mix of hosts sharing `DSMT_SWEEP_CACHE` — a
 //!   plain run renders everything from cache.
 
-use dsmt_experiments::{ablations, fig1, fig3, fig4, fig5, maybe_run_shard, ExperimentParams};
+use dsmt_experiments::{
+    ablations, fetch_policy, fig1, fig3, fig4, fig5, maybe_run_shard, seed_variance,
+    ExperimentParams,
+};
 use dsmt_sweep::{export, SweepReport};
 
 fn print_checks(checks: &[(String, bool)]) {
@@ -52,6 +55,8 @@ fn main() {
     ];
     all_grids.extend(fig5::grids(&params));
     all_grids.extend(ablations::grids(&params));
+    all_grids.push(fetch_policy::grid(&params));
+    all_grids.push(seed_variance::grid(&params));
     if maybe_run_shard(&all_grids, &params) {
         return;
     }
@@ -92,17 +97,31 @@ fn main() {
     print_checks(&f5.results.shape_checks());
     footer.push(export_report(&f5.report, &out_dir));
 
+    println!("## Fetch policy (Section 3.1) — I-COUNT vs round-robin\n");
+    let fp = fetch_policy::sweep(&params);
+    println!("{}", fp.results.table().to_markdown());
+    print_checks(&fp.results.shape_checks());
+    footer.push(export_report(&fp.report, &out_dir));
+
+    println!("## Seed variance — how representative are single-seed figures?\n");
+    let sv = seed_variance::sweep(&params);
+    println!("{}", sv.results.table().to_markdown());
+    print_checks(&sv.results.shape_checks());
+    footer.push(export_report(&sv.report, &out_dir));
+
     println!("## Ablations (beyond the paper)\n");
     let ab = ablations::sweep(&params);
     println!("{}", ab.results.to_markdown());
     print_checks(&ab.results.shape_checks());
     footer.push(export_report(&ab.report, &out_dir));
 
-    let (cells, hits, misses) = [&f1.report, &f3.report, &f4.report, &f5.report, &ab.report]
-        .iter()
-        .fold((0, 0, 0), |(c, h, m), r| {
-            (c + r.records.len(), h + r.cache_hits, m + r.cache_misses)
-        });
+    let (cells, hits, misses) = [
+        &f1.report, &f3.report, &f4.report, &f5.report, &fp.report, &sv.report, &ab.report,
+    ]
+    .iter()
+    .fold((0, 0, 0), |(c, h, m), r| {
+        (c + r.records.len(), h + r.cache_hits, m + r.cache_misses)
+    });
     eprintln!("sweep summary:");
     for line in &footer {
         eprintln!("  {line}");

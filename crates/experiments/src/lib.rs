@@ -14,6 +14,11 @@
 //! * [`fig5`] — Section 3.3, Figure 5: IPC versus number of hardware
 //!   contexts at L2 = 16 and L2 = 64, decoupled vs non-decoupled, plus
 //!   external bus utilisation.
+//! * [`fetch_policy`] — Section 3.1: I-COUNT vs round-robin thread
+//!   selection across hardware-context counts.
+//! * [`seed_variance`] — per-cell seed study: every grid point replicated
+//!   under decorrelated seeds, with mean/stddev columns quantifying how
+//!   representative the single-seed figures are.
 //! * [`ablations`] — studies beyond the paper: instruction-queue depth,
 //!   MSHR count, issue-width asymmetry and L1 associativity.
 //!
@@ -36,12 +41,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod fetch_policy;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod report;
 pub mod runner;
+pub mod seed_variance;
 
 pub use dsmt_sweep::{
     Axis, RunRecord, Scenario, Setting, SweepEngine, SweepGrid, SweepReport, WorkloadSpec,

@@ -44,13 +44,19 @@
 //! mismatch, truncation, non-canonical varints, or a value tree that does
 //! not match [`SimResults`] all reject the file rather than salvage it —
 //! a corrupt shard must be re-run, not merged.
+//!
+//! The value encoding itself lives in [`dsmt_store::codec`] — the same
+//! codec (and the same FNV checksum discipline) the sweep cache's store
+//! segments use, so a record's bytes are identical wherever it is
+//! persisted.
 
 use bytes::{Buf, BufMut};
 use dsmt_core::SimResults;
 use dsmt_isa::varint::{get_uvarint, put_uvarint, VarintError};
-use dsmt_isa::{get_ivarint, put_ivarint};
 use dsmt_sweep::{fnv1a64, RunRecord, SweepGrid, SweepReport};
 use serde::{Deserialize, Serialize, Value};
+
+pub use dsmt_store::codec::{get_raw_str, get_value, put_value, CodecError, StrTable};
 
 /// Bumped on any change to the `.dsr` byte layout.
 pub const DSR_FORMAT_VERSION: u32 = 1;
@@ -104,6 +110,15 @@ impl From<VarintError> for DsrError {
         match e {
             VarintError::Truncated => DsrError::Truncated,
             VarintError::Malformed => DsrError::Malformed("non-canonical varint".to_string()),
+        }
+    }
+}
+
+impl From<CodecError> for DsrError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => DsrError::Truncated,
+            CodecError::Malformed(why) => DsrError::Malformed(why),
         }
     }
 }
@@ -175,8 +190,8 @@ impl DsrFile {
         buf.put_u64_le(fnv1a64(grid_json.as_bytes()));
         put_uvarint(&mut buf, self.shard_index as u64);
         put_uvarint(&mut buf, self.shard_count as u64);
-        put_uvarint(&mut buf, table.strings.len() as u64);
-        for s in &table.strings {
+        put_uvarint(&mut buf, table.strings().len() as u64);
+        for s in table.strings() {
             put_uvarint(&mut buf, s.len() as u64);
             buf.put_slice(s.as_bytes());
         }
@@ -274,20 +289,17 @@ impl DsrFile {
         })
     }
 
-    /// Writes the encoded file, creating parent directories.
+    /// Writes the encoded file atomically (temp file + rename, parent
+    /// directories created), so concurrent writers — e.g. two `--missing`
+    /// recoverers racing past a stale claim — can never interleave bytes.
     ///
     /// # Errors
     ///
     /// [`DsrError::Io`] on filesystem failure.
     pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), DsrError> {
         let path = path.as_ref();
-        let io = |e: std::io::Error| DsrError::Io(format!("{}: {e}", path.display()));
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(io)?;
-            }
-        }
-        std::fs::write(path, self.encode()).map_err(io)
+        dsmt_store::atomic_write(path, &self.encode())
+            .map_err(|e| DsrError::Io(format!("{}: {e}", path.display())))
     }
 
     /// Reads and verifies a `.dsr` file from disk.
@@ -361,175 +373,6 @@ fn zero_perf() -> dsmt_sweep::CellPerf {
         instructions_per_sec: 0.0,
         sim_cycles_per_sec: 0.0,
     }
-}
-
-// ---------------------------------------------------------------------------
-// Tagged binary encoding of serde `Value` trees.
-
-const TAG_NULL: u8 = 0;
-const TAG_FALSE: u8 = 1;
-const TAG_TRUE: u8 = 2;
-const TAG_U64: u8 = 3;
-const TAG_I64: u8 = 4;
-const TAG_F64: u8 = 5;
-const TAG_STR: u8 = 6;
-const TAG_ARRAY: u8 = 7;
-const TAG_OBJECT: u8 = 8;
-
-/// The per-file intern table: every distinct string (object field names
-/// and string values) is stored once in first-use order, and value trees
-/// reference it by index. Records of one file share their object shape, so
-/// this turns the repeated schema into a one-time cost.
-#[derive(Debug, Default)]
-pub struct StrTable {
-    strings: Vec<String>,
-    index: std::collections::HashMap<String, u64>,
-}
-
-impl StrTable {
-    /// Interns every string of `value` (depth-first, keys before values)
-    /// in first-use order.
-    pub fn collect(&mut self, value: &Value) {
-        match value {
-            Value::Str(s) => self.intern(s),
-            Value::Array(items) => items.iter().for_each(|v| self.collect(v)),
-            Value::Object(entries) => {
-                for (key, item) in entries {
-                    self.intern(key);
-                    self.collect(item);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn intern(&mut self, s: &str) {
-        if !self.index.contains_key(s) {
-            self.index.insert(s.to_string(), self.strings.len() as u64);
-            self.strings.push(s.to_string());
-        }
-    }
-
-    fn id(&self, s: &str) -> u64 {
-        *self
-            .index
-            .get(s)
-            .expect("string was interned during collect")
-    }
-}
-
-/// Appends the binary encoding of a [`Value`] tree to `buf`. Every string
-/// in the tree must have been [`StrTable::collect`]ed into `table` first.
-///
-/// # Panics
-///
-/// Panics if the tree contains a string missing from `table` (an encoder
-/// bug, not an input condition).
-pub fn put_value<B: BufMut>(buf: &mut B, value: &Value, table: &StrTable) {
-    match value {
-        Value::Null => buf.put_u8(TAG_NULL),
-        Value::Bool(false) => buf.put_u8(TAG_FALSE),
-        Value::Bool(true) => buf.put_u8(TAG_TRUE),
-        Value::U64(n) => {
-            buf.put_u8(TAG_U64);
-            put_uvarint(buf, *n);
-        }
-        Value::I64(n) => {
-            buf.put_u8(TAG_I64);
-            put_ivarint(buf, *n);
-        }
-        Value::F64(x) => {
-            buf.put_u8(TAG_F64);
-            buf.put_u64_le(x.to_bits());
-        }
-        Value::Str(s) => {
-            buf.put_u8(TAG_STR);
-            put_uvarint(buf, table.id(s));
-        }
-        Value::Array(items) => {
-            buf.put_u8(TAG_ARRAY);
-            put_uvarint(buf, items.len() as u64);
-            for item in items {
-                put_value(buf, item, table);
-            }
-        }
-        Value::Object(entries) => {
-            buf.put_u8(TAG_OBJECT);
-            put_uvarint(buf, entries.len() as u64);
-            for (key, item) in entries {
-                put_uvarint(buf, table.id(key));
-                put_value(buf, item, table);
-            }
-        }
-    }
-}
-
-/// Decodes one binary [`Value`] tree from the front of `buf`, resolving
-/// string indices against `strings` (the decoded table).
-///
-/// # Errors
-///
-/// [`DsrError::Truncated`] or [`DsrError::Malformed`].
-pub fn get_value<B: Buf>(buf: &mut B, strings: &[String]) -> Result<Value, DsrError> {
-    if !buf.has_remaining() {
-        return Err(DsrError::Truncated);
-    }
-    match buf.get_u8() {
-        TAG_NULL => Ok(Value::Null),
-        TAG_FALSE => Ok(Value::Bool(false)),
-        TAG_TRUE => Ok(Value::Bool(true)),
-        TAG_U64 => Ok(Value::U64(get_uvarint(buf)?)),
-        TAG_I64 => Ok(Value::I64(get_ivarint(buf)?)),
-        TAG_F64 => {
-            if buf.remaining() < 8 {
-                return Err(DsrError::Truncated);
-            }
-            Ok(Value::F64(f64::from_bits(buf.get_u64_le())))
-        }
-        TAG_STR => Ok(Value::Str(get_interned(buf, strings)?)),
-        TAG_ARRAY => {
-            let n = get_uvarint(buf)?;
-            let mut items = Vec::new();
-            for _ in 0..n {
-                items.push(get_value(buf, strings)?);
-            }
-            Ok(Value::Array(items))
-        }
-        TAG_OBJECT => {
-            let n = get_uvarint(buf)?;
-            let mut entries = Vec::new();
-            for _ in 0..n {
-                let key = get_interned(buf, strings)?;
-                entries.push((key, get_value(buf, strings)?));
-            }
-            Ok(Value::Object(entries))
-        }
-        tag => Err(DsrError::Malformed(format!("unknown value tag {tag}"))),
-    }
-}
-
-fn get_interned<B: Buf>(buf: &mut B, strings: &[String]) -> Result<String, DsrError> {
-    let id = get_uvarint(buf)?;
-    strings
-        .get(usize::try_from(id).unwrap_or(usize::MAX))
-        .cloned()
-        .ok_or_else(|| {
-            DsrError::Malformed(format!(
-                "string id {id} out of table range ({} entries)",
-                strings.len()
-            ))
-        })
-}
-
-fn get_raw_str<B: Buf>(buf: &mut B) -> Result<String, DsrError> {
-    let len = usize::try_from(get_uvarint(buf)?)
-        .map_err(|_| DsrError::Malformed("string length overflow".to_string()))?;
-    if buf.remaining() < len {
-        return Err(DsrError::Truncated);
-    }
-    let mut bytes = vec![0u8; len];
-    buf.copy_to_slice(&mut bytes);
-    String::from_utf8(bytes).map_err(|_| DsrError::Malformed("string is not UTF-8".to_string()))
 }
 
 #[cfg(test)]
@@ -673,77 +516,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(path.parent().unwrap().parent().unwrap());
     }
 
-    #[test]
-    fn value_codec_round_trips_edge_values() {
-        let tree = Value::Object(vec![
-            ("null".to_string(), Value::Null),
-            ("t".to_string(), Value::Bool(true)),
-            ("f".to_string(), Value::Bool(false)),
-            ("zero".to_string(), Value::U64(0)),
-            ("max".to_string(), Value::U64(u64::MAX)),
-            ("neg".to_string(), Value::I64(i64::MIN)),
-            ("pi".to_string(), Value::F64(std::f64::consts::PI)),
-            ("nan".to_string(), Value::F64(f64::NAN)),
-            ("ninf".to_string(), Value::F64(f64::NEG_INFINITY)),
-            ("s".to_string(), Value::Str("héllo,\nworld".to_string())),
-            ("empty".to_string(), Value::Str(String::new())),
-            (
-                "arr".to_string(),
-                Value::Array(vec![Value::U64(1), Value::Array(vec![]), Value::Null]),
-            ),
-        ]);
-        let mut table = StrTable::default();
-        table.collect(&tree);
-        let mut buf = Vec::new();
-        put_value(&mut buf, &tree, &table);
-        let strings = table.strings.clone();
-        let back = get_value(&mut buf.as_slice(), &strings).expect("decode");
-        // NaN != NaN under PartialEq; compare bit-exactly via re-encode.
-        let mut buf2 = Vec::new();
-        put_value(&mut buf2, &back, &table);
-        assert_eq!(buf, buf2);
-    }
-
-    #[test]
-    fn value_codec_rejects_garbage() {
-        let no_strings: Vec<String> = Vec::new();
-        assert_eq!(
-            get_value(&mut [].as_slice(), &no_strings),
-            Err(DsrError::Truncated)
-        );
-        assert!(matches!(
-            get_value(&mut [99u8].as_slice(), &no_strings),
-            Err(DsrError::Malformed(_))
-        ));
-        // A string id outside the table.
-        let mut buf = Vec::new();
-        buf.put_u8(TAG_STR);
-        put_uvarint(&mut buf, 7);
-        assert!(matches!(
-            get_value(&mut buf.as_slice(), &no_strings),
-            Err(DsrError::Malformed(_))
-        ));
-        // Truncated f64.
-        let mut buf = Vec::new();
-        buf.put_u8(TAG_F64);
-        buf.put_slice(&[0, 1, 2]);
-        assert_eq!(
-            get_value(&mut buf.as_slice(), &no_strings),
-            Err(DsrError::Truncated)
-        );
-        // Table decoding rejects oversize and non-UTF-8 strings.
-        let mut buf = Vec::new();
-        put_uvarint(&mut buf, 100);
-        buf.put_slice(b"short");
-        assert_eq!(get_raw_str(&mut buf.as_slice()), Err(DsrError::Truncated));
-        let mut buf = Vec::new();
-        put_uvarint(&mut buf, 2);
-        buf.put_slice(&[0xff, 0xfe]);
-        assert!(matches!(
-            get_raw_str(&mut buf.as_slice()),
-            Err(DsrError::Malformed(_))
-        ));
-    }
+    // The value-codec edge-case and garbage-rejection tests moved to
+    // `dsmt_store::codec` with the codec itself; the golden fixture in
+    // crates/shard/tests/golden pins that the relocated codec still
+    // produces the exact `.dsr` bytes.
 
     #[test]
     fn dsr_is_at_least_5x_smaller_than_the_json_export_for_the_bench_grid() {

@@ -1,5 +1,8 @@
 //! Runs one shard of a manifest and packages the result.
 
+use std::path::Path;
+
+use dsmt_store::LockFile;
 use dsmt_sweep::{SweepEngine, SweepReport};
 
 use crate::{DsrFile, ShardManifest, ShardPlanError};
@@ -62,6 +65,125 @@ pub fn run_shard(
     })
 }
 
+/// How one shard fared during a [`run_missing`] recovery pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDisposition {
+    /// A verified output already existed; nothing to do.
+    AlreadyDone,
+    /// Another worker holds the claim; left for them.
+    ClaimedElsewhere,
+    /// This pass claimed, executed and published the shard (an unreadable
+    /// or corrupt existing output counts: it is re-run and overwritten).
+    Executed,
+}
+
+/// The outcome of a [`run_missing`] pass: one disposition per shard, in
+/// shard order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingRun {
+    /// Disposition per shard index.
+    pub dispositions: Vec<ShardDisposition>,
+}
+
+impl MissingRun {
+    /// Shard indices this pass executed.
+    #[must_use]
+    pub fn executed(&self) -> Vec<usize> {
+        self.indices(ShardDisposition::Executed)
+    }
+
+    /// Shard indices with verified pre-existing outputs.
+    #[must_use]
+    pub fn already_done(&self) -> Vec<usize> {
+        self.indices(ShardDisposition::AlreadyDone)
+    }
+
+    /// Shard indices another worker currently holds.
+    #[must_use]
+    pub fn claimed_elsewhere(&self) -> Vec<usize> {
+        self.indices(ShardDisposition::ClaimedElsewhere)
+    }
+
+    /// Whether every shard now has a verified output (nothing was left to
+    /// a concurrent claimant).
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.claimed_elsewhere().is_empty()
+    }
+
+    fn indices(&self, want: ShardDisposition) -> Vec<usize> {
+        self.dispositions
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == want)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Executes every shard of `manifest` that has no verified output under
+/// `dir` yet, claiming each through an `O_EXCL` lockfile in `dir/locks`
+/// first — the self-healing path for fleets: any number of recovery
+/// workers can run this concurrently (or after hosts died mid-run) and
+/// each missing shard is executed exactly once.
+///
+/// A shard output that exists but fails verification (truncated, corrupt,
+/// foreign grid) is treated as missing: it is re-run and atomically
+/// overwritten. Claims release when this pass finishes, so a worker that
+/// died *holding* a claim only blocks until its lockfile is removed —
+/// [`LockFile::holder`] names the owner for that call.
+///
+/// # Errors
+///
+/// Any manifest validation error; execution itself panics only for grid
+/// construction bugs, as [`run_shard`] does.
+pub fn run_missing(
+    manifest: &ShardManifest,
+    dir: impl AsRef<Path>,
+    engine: &SweepEngine,
+) -> Result<MissingRun, ShardPlanError> {
+    manifest.validate()?;
+    let dir = dir.as_ref();
+    let locks = dir.join("locks");
+    let mut dispositions = Vec::with_capacity(manifest.num_shards());
+    for index in 0..manifest.num_shards() {
+        let name = shard_file_name(manifest, index);
+        let path = dir.join(&name);
+        if shard_output_ok(&path, manifest, index) {
+            dispositions.push(ShardDisposition::AlreadyDone);
+            continue;
+        }
+        let Ok(Some(_claim)) = LockFile::acquire(&locks, &name) else {
+            dispositions.push(ShardDisposition::ClaimedElsewhere);
+            continue;
+        };
+        // Double-check under the claim: another worker may have finished
+        // between the probe and the acquire.
+        if shard_output_ok(&path, manifest, index) {
+            dispositions.push(ShardDisposition::AlreadyDone);
+            continue;
+        }
+        let run = run_shard(manifest, index, engine)?;
+        run.dsr.write(&path).map_err(|e| {
+            ShardPlanError::BadPartition(format!("cannot publish shard {index}: {e}"))
+        })?;
+        dispositions.push(ShardDisposition::Executed);
+    }
+    Ok(MissingRun { dispositions })
+}
+
+/// Whether `path` holds a verified output for shard `index` of this plan.
+fn shard_output_ok(path: &Path, manifest: &ShardManifest, index: usize) -> bool {
+    match DsrFile::read(path) {
+        Ok(file) => {
+            file.grid == manifest.grid
+                && file.shard_index == index
+                && file.shard_count == manifest.num_shards()
+        }
+        Err(_) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +239,78 @@ mod tests {
     fn shard_file_names_follow_the_convention() {
         let m = manifest();
         assert_eq!(shard_file_name(&m, 1), "exec.shard-1-of-3.dsr");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dsmt-missing-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_pass_recovers_absent_and_corrupt_shards() {
+        let m = manifest();
+        let dir = temp_dir("recover");
+        let engine = SweepEngine::new(2).without_cache();
+        // Shard 0 was run normally; shard 1's output is corrupt; shard 2
+        // never ran.
+        let run0 = run_shard(&m, 0, &engine).unwrap();
+        run0.dsr.write(dir.join(shard_file_name(&m, 0))).unwrap();
+        std::fs::write(dir.join(shard_file_name(&m, 1)), b"garbage").unwrap();
+
+        let outcome = run_missing(&m, &dir, &engine).expect("recovery pass");
+        assert_eq!(outcome.already_done(), vec![0]);
+        assert_eq!(outcome.executed(), vec![1, 2]);
+        assert!(outcome.complete());
+        // Everything now merges into the full grid.
+        let files: Vec<DsrFile> = (0..m.num_shards())
+            .map(|i| DsrFile::read(dir.join(shard_file_name(&m, i))).expect("verified output"))
+            .collect();
+        let merged = crate::merge_shards(&m, &files).expect("merge");
+        assert_eq!(merged.records, engine.run(&m.grid).records);
+        // A second pass finds nothing to do, and the claims were released.
+        let again = run_missing(&m, &dir, &engine).expect("idempotent pass");
+        assert_eq!(again.executed(), Vec::<usize>::new());
+        assert_eq!(again.already_done(), vec![0, 1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn held_claims_are_respected_not_stolen() {
+        let m = manifest();
+        let dir = temp_dir("held");
+        let engine = SweepEngine::new(1).without_cache();
+        // Simulate a worker holding shard 1: its claim exists, no output.
+        let held = LockFile::acquire(dir.join("locks"), &shard_file_name(&m, 1))
+            .unwrap()
+            .expect("claim");
+        let outcome = run_missing(&m, &dir, &engine).expect("pass");
+        assert_eq!(outcome.executed(), vec![0, 2]);
+        assert_eq!(outcome.claimed_elsewhere(), vec![1]);
+        assert!(!outcome.complete());
+        assert!(!dir.join(shard_file_name(&m, 1)).exists());
+        // The holder is identifiable for stale-claim diagnostics.
+        assert!(LockFile::holder(dir.join("locks"), &shard_file_name(&m, 1)).is_some());
+        drop(held);
+        let retry = run_missing(&m, &dir, &engine).expect("retry");
+        assert_eq!(retry.executed(), vec![1]);
+        assert!(retry.complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_manifests_fail_before_any_claim() {
+        let mut stale = manifest();
+        stale.grid.seed += 1;
+        let dir = temp_dir("stale");
+        let engine = SweepEngine::new(1).without_cache();
+        assert!(matches!(
+            run_missing(&stale, &dir, &engine),
+            Err(ShardPlanError::GridHashMismatch { .. })
+        ));
+        assert!(!dir.join("locks").exists(), "no claims were taken");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

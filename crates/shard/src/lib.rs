@@ -68,7 +68,9 @@ pub mod merge;
 pub mod partition;
 
 pub use dsr::{DsrError, DsrFile, DsrRecord, DSR_FORMAT_VERSION};
-pub use executor::{run_shard, shard_file_name, ShardRun};
+pub use executor::{
+    run_missing, run_shard, shard_file_name, MissingRun, ShardDisposition, ShardRun,
+};
 pub use merge::{merge_shards, MergeError};
 pub use partition::{
     grid_content_hash, plan, ShardManifest, ShardPlanError, ShardStrategy, MANIFEST_SCHEMA_VERSION,

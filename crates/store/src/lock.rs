@@ -1,0 +1,174 @@
+//! Concurrent-writer safety: `O_EXCL` lockfile claims and atomic publishes.
+
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: a temp file in the same directory
+/// (so the rename cannot cross filesystems) is written first, then renamed
+/// over the destination. Readers never observe a partial file; concurrent
+/// writers of identical content race harmlessly.
+///
+/// Parent directories are created as needed.
+///
+/// # Errors
+///
+/// The underlying I/O error if any step fails (the temp file is removed on
+/// a failed rename).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{}: not a file path", path.display()),
+            )
+        })?
+        .to_string_lossy();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// An exclusive claim on a named unit of work, backed by an `O_EXCL`
+/// lockfile. Exactly one of any number of racing claimants wins; the claim
+/// is released (the file removed) when the guard drops, so a finished —
+/// or panicked-but-unwound — worker frees the name for the next claimant.
+///
+/// A claimant that dies without unwinding (SIGKILL, power loss) leaves the
+/// lockfile behind; [`LockFile::acquire`] reports the holder recorded in
+/// the file so an operator can decide whether the claim is stale.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Tries to claim `name` under `dir` (created if needed). Returns
+    /// `Ok(Some(guard))` on success and `Ok(None)` when another claimant
+    /// already holds the name.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the lock already existing.
+    pub fn acquire(dir: impl AsRef<Path>, name: &str) -> std::io::Result<Option<LockFile>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.lock"));
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => {
+                // Best-effort holder record for stale-lock diagnostics.
+                use std::io::Write;
+                let mut file = file;
+                let _ = writeln!(file, "pid {}", std::process::id());
+                Ok(Some(LockFile { path }))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The lockfile's path (for diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorded holder of an existing lock on `name`, if any — for
+    /// "who has this claim?" diagnostics when [`LockFile::acquire`]
+    /// returns `None`.
+    #[must_use]
+    pub fn holder(dir: impl AsRef<Path>, name: &str) -> Option<String> {
+        let path = dir.as_ref().join(format!("{name}.lock"));
+        std::fs::read_to_string(path)
+            .ok()
+            .map(|s| s.trim().to_string())
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsmt-lock-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_creates_parents() {
+        let dir = temp_dir("aw");
+        let path = dir.join("nested/out.bin");
+        atomic_write(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp litter left behind.
+        let entries: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(entries.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_claim_loses_until_release() {
+        let dir = temp_dir("claim");
+        let first = LockFile::acquire(&dir, "shard-0")
+            .expect("io")
+            .expect("claim");
+        assert!(LockFile::acquire(&dir, "shard-0").expect("io").is_none());
+        // A different name is independent.
+        assert!(LockFile::acquire(&dir, "shard-1").expect("io").is_some());
+        let holder = LockFile::holder(&dir, "shard-0").expect("holder recorded");
+        assert!(holder.contains(&std::process::id().to_string()));
+        drop(first);
+        assert!(LockFile::acquire(&dir, "shard-0").expect("io").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_threads_get_exactly_one_claim() {
+        let dir = temp_dir("race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let barrier = std::sync::Barrier::new(8);
+        let wins: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        LockFile::acquire(&dir, "contended")
+                            .expect("io")
+                            .map(|guard| {
+                                // Hold the claim across the race window.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                drop(guard);
+                            })
+                            .is_some() as usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1, "exactly one of 8 racing claimants may win");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

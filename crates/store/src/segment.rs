@@ -1,0 +1,226 @@
+//! Immutable, checksummed segment files (`.dsrs`).
+//!
+//! A segment is a batch of `(u64 key, Value)` records that were published
+//! together — one sweep's cache misses, one migration, one compaction. Like
+//! `.dsr` shard files, every decode error is fail-stop: a segment either
+//! verifies completely or is rejected as a unit.
+//!
+//! ## Layout (integers little-endian; `varint` is LEB128 as in
+//! [`dsmt_isa::varint`])
+//!
+//! ```text
+//! magic     4 bytes   b"DSRS"
+//! version   u32       SEGMENT_FORMAT_VERSION
+//! n_strings varint    string table: every distinct field name / string
+//! strings   n ×       varint length + UTF-8 bytes, first-use order
+//! n_records varint
+//! records   n ×       key u64 LE, value (codec encoding)
+//! checksum  u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! Encoding is canonical (records in the order given, first-use string
+//! table, shortest varints), so the same records always produce the same
+//! bytes — which is what makes content-addressed segment names
+//! ([`Segment::content_name`]) and idempotent re-publishes possible.
+
+use bytes::{Buf, BufMut};
+use dsmt_isa::varint::{get_uvarint, put_uvarint};
+use serde::Value;
+
+use crate::codec::{get_raw_str, get_value, put_raw_str, put_value, CodecError, StrTable};
+use crate::fnv1a64;
+
+/// Bumped on any change to the segment byte layout.
+pub const SEGMENT_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"DSRS";
+
+/// An in-memory segment: the records it persists, in write order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// The `(key, value)` records, in the order they were written.
+    pub records: Vec<(u64, Value)>,
+}
+
+impl Segment {
+    /// Packages records as a segment.
+    #[must_use]
+    pub fn new(records: Vec<(u64, Value)>) -> Self {
+        Segment { records }
+    }
+
+    /// Serializes the segment to its canonical byte form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut table = StrTable::default();
+        for (_, value) in &self.records {
+            table.collect(value);
+        }
+        let mut buf = Vec::with_capacity(64 + 64 * self.records.len());
+        buf.put_slice(&MAGIC);
+        buf.put_slice(&SEGMENT_FORMAT_VERSION.to_le_bytes());
+        put_uvarint(&mut buf, table.strings().len() as u64);
+        for s in table.strings() {
+            put_raw_str(&mut buf, s);
+        }
+        put_uvarint(&mut buf, self.records.len() as u64);
+        for (key, value) in &self.records {
+            buf.put_u64_le(*key);
+            put_value(&mut buf, value, &table);
+        }
+        buf.put_u64_le(fnv1a64(&buf));
+        buf
+    }
+
+    /// Parses and fully verifies a segment byte image.
+    ///
+    /// # Errors
+    ///
+    /// A [`CodecError`] on any structural problem; checksum mismatches and
+    /// truncation reject the whole segment — no partial decode is returned.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        // Fixed header + two varints + checksum.
+        if bytes.len() < MAGIC.len() + 4 + 2 + 8 {
+            return Err(CodecError::Truncated);
+        }
+        let (content, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(content) != stored {
+            return Err(CodecError::Malformed(
+                "segment checksum mismatch (corrupt or truncated file)".to_string(),
+            ));
+        }
+        let mut buf = content;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(CodecError::Malformed(
+                "not a .dsrs segment (bad magic)".to_string(),
+            ));
+        }
+        let mut version = [0u8; 4];
+        buf.copy_to_slice(&mut version);
+        let version = u32::from_le_bytes(version);
+        if version != SEGMENT_FORMAT_VERSION {
+            return Err(CodecError::Malformed(format!(
+                "unsupported segment version {version} (this build reads v{SEGMENT_FORMAT_VERSION})"
+            )));
+        }
+        let n_strings = get_uvarint(&mut buf)?;
+        let mut strings = Vec::new();
+        for _ in 0..n_strings {
+            strings.push(get_raw_str(&mut buf)?);
+        }
+        let n_records = get_uvarint(&mut buf)?;
+        let mut records = Vec::new();
+        for _ in 0..n_records {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            let key = buf.get_u64_le();
+            records.push((key, get_value(&mut buf, &strings)?));
+        }
+        if buf.has_remaining() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing bytes after the last record",
+                buf.remaining()
+            )));
+        }
+        Ok(Segment { records })
+    }
+
+    /// The content-addressed file name for this segment's `bytes`
+    /// (`seg-<fnv1a64 of the bytes, hex>.dsrs`). Identical record batches
+    /// produce identical names, so a re-publish is idempotent.
+    #[must_use]
+    pub fn content_name(bytes: &[u8]) -> String {
+        format!("seg-{:016x}.dsrs", fnv1a64(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Segment {
+        Segment::new(vec![
+            (
+                1,
+                Value::Object(vec![
+                    ("ipc".to_string(), Value::F64(2.5)),
+                    ("cycles".to_string(), Value::U64(1000)),
+                ]),
+            ),
+            (
+                u64::MAX,
+                Value::Object(vec![
+                    ("ipc".to_string(), Value::F64(1.25)),
+                    ("cycles".to_string(), Value::U64(2000)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_is_deterministic() {
+        let seg = sample();
+        let bytes = seg.encode();
+        let back = Segment::decode(&bytes).expect("decode");
+        assert_eq!(back, seg);
+        assert_eq!(bytes, back.encode());
+        // Field names are interned once: the second record costs indices,
+        // not repeated strings.
+        assert_eq!(bytes.windows(3).filter(|w| w == b"ipc").count(), 1);
+    }
+
+    #[test]
+    fn corruption_truncation_and_version_skew_are_rejected() {
+        let bytes = sample().encode();
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 9] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(
+                Segment::decode(&corrupt).is_err(),
+                "bit flip at {pos} must be rejected"
+            );
+        }
+        for keep in [0, 10, bytes.len() - 1] {
+            assert!(
+                Segment::decode(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes must be rejected"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Segment::decode(&padded).is_err());
+        // Version skew with a refreshed checksum reports precisely.
+        let mut skew = bytes;
+        skew[4] = 0xfe;
+        let content_len = skew.len() - 8;
+        let sum = fnv1a64(&skew[..content_len]);
+        skew[content_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Segment::decode(&skew),
+            Err(CodecError::Malformed(why)) if why.contains("version")
+        ));
+    }
+
+    #[test]
+    fn empty_segments_are_valid() {
+        let seg = Segment::new(Vec::new());
+        let bytes = seg.encode();
+        assert_eq!(Segment::decode(&bytes).unwrap(), seg);
+    }
+
+    #[test]
+    fn content_names_track_content() {
+        let a = sample().encode();
+        let mut other = sample();
+        other.records[0].0 = 2;
+        let b = other.encode();
+        assert_ne!(Segment::content_name(&a), Segment::content_name(&b));
+        assert_eq!(Segment::content_name(&a), Segment::content_name(&a));
+        assert!(Segment::content_name(&a).starts_with("seg-"));
+        assert!(Segment::content_name(&a).ends_with(".dsrs"));
+    }
+}

@@ -1,0 +1,848 @@
+//! The content-addressed record store: a directory of segments, a schema
+//! marker, an in-memory key index and segment-granular LRU eviction.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::lock::{atomic_write, LockFile};
+use crate::segment::Segment;
+
+/// The schema marker file kept at the store root. Its presence is what
+/// distinguishes a store directory from anything else; its `schema` field
+/// is the *client's* schema version (e.g. the sweep cache schema), checked
+/// fail-stop at open so readers never decode records written under
+/// different semantics.
+const MARKER_NAME: &str = "STORE.json";
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Marker {
+    format: String,
+    version: u32,
+    schema: u32,
+}
+
+/// Why a store could not be opened or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O error, carried as text so the error stays comparable.
+    Io(String),
+    /// The marker records a different client schema than the caller's.
+    SchemaMismatch {
+        /// Schema recorded in the marker.
+        found: u32,
+        /// Schema this build expects.
+        expected: u32,
+    },
+    /// The directory predates the store: it holds per-scenario JSON entries
+    /// (the v2 cache layout) and no marker. Migrate or point elsewhere.
+    LegacyLayout {
+        /// How many legacy `.json` entries were found.
+        json_files: usize,
+    },
+    /// A segment file failed verification (checksum, truncation, codec).
+    Corrupt {
+        /// The offending file name.
+        file: String,
+        /// What about it failed.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(why) => write!(f, "store i/o error: {why}"),
+            StoreError::SchemaMismatch { found, expected } => write!(
+                f,
+                "store schema v{found} does not match this build (v{expected}); \
+                 delete the directory or migrate it"
+            ),
+            StoreError::LegacyLayout { json_files } => write!(
+                f,
+                "directory holds {json_files} legacy per-scenario JSON cache entries \
+                 (v2 layout); run `dsmt sweep migrate` to convert it to the v3 store"
+            ),
+            StoreError::Corrupt { file, why } => {
+                write!(
+                    f,
+                    "corrupt segment {file}: {why} (delete it to re-simulate)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// One loaded segment plus its on-disk metadata.
+#[derive(Debug)]
+struct LoadedSegment {
+    name: String,
+    path: PathBuf,
+    bytes: u64,
+    modified: SystemTime,
+    segment: Segment,
+}
+
+/// On-disk metadata of one segment (see [`Store::segment_infos`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment file name (`seg-<hash>.dsrs`).
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Records held.
+    pub records: usize,
+    /// Last use (mtime: written on publish, re-touched on hit).
+    pub modified: SystemTime,
+}
+
+/// What a [`Store::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Segments present when the pass started.
+    pub examined: usize,
+    /// Segments removed.
+    pub evicted: usize,
+    /// Bytes freed.
+    pub evicted_bytes: u64,
+    /// Segments left resident.
+    pub kept: usize,
+    /// Bytes left resident.
+    pub kept_bytes: u64,
+}
+
+/// What a [`Store::compact`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Segments before compaction.
+    pub segments_before: usize,
+    /// Bytes before compaction.
+    pub bytes_before: u64,
+    /// Bytes after compaction (the single fresh segment).
+    pub bytes_after: u64,
+    /// Live records carried over.
+    pub records: usize,
+}
+
+/// A content-addressed store of `(u64 key, Value)` records.
+///
+/// The store is a directory: a `STORE.json` schema marker, a `segments/`
+/// directory of immutable checksummed [`Segment`] files, and a `locks/`
+/// directory for [`LockFile`] claims. Open loads and verifies every
+/// segment (fail-stop: one corrupt segment rejects the open, with the
+/// offending file named); lookups then hit an in-memory index where later
+/// segments (by mtime, then name) shadow earlier ones.
+///
+/// Writers batch records and [`Store::publish`] them as one new segment —
+/// an atomic-rename of a content-addressed file, so concurrent publishers
+/// (other threads, other hosts on a shared mount) can never corrupt each
+/// other: distinct batches get distinct names, identical batches collapse
+/// to one file.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    segments: Vec<LoadedSegment>,
+    index: HashMap<u64, (usize, usize)>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store at `dir` for client schema
+    /// `schema`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::LegacyLayout`] if the directory holds a v2 JSON cache,
+    /// [`StoreError::SchemaMismatch`] if the marker disagrees with
+    /// `schema`, [`StoreError::Corrupt`] if a segment fails verification,
+    /// or [`StoreError::Io`].
+    pub fn open(dir: impl Into<PathBuf>, schema: u32) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let marker_path = dir.join(MARKER_NAME);
+        match std::fs::read_to_string(&marker_path) {
+            Ok(text) => {
+                let marker: Marker = serde::from_str(&text).map_err(|e| StoreError::Corrupt {
+                    file: MARKER_NAME.to_string(),
+                    why: e.to_string(),
+                })?;
+                if marker.format != "dsmt-store" || marker.version != 1 {
+                    return Err(StoreError::Corrupt {
+                        file: MARKER_NAME.to_string(),
+                        why: format!("unknown format {}/v{}", marker.format, marker.version),
+                    });
+                }
+                if marker.schema != schema {
+                    return Err(StoreError::SchemaMismatch {
+                        found: marker.schema,
+                        expected: schema,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let legacy = count_legacy_json(&dir)?;
+                if legacy > 0 {
+                    return Err(StoreError::LegacyLayout { json_files: legacy });
+                }
+                let marker = Marker {
+                    format: "dsmt-store".to_string(),
+                    version: 1,
+                    schema,
+                };
+                atomic_write(&marker_path, serde::to_string_pretty(&marker).as_bytes())?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        std::fs::create_dir_all(dir.join("segments"))?;
+        let mut store = Store {
+            dir,
+            segments: Vec::new(),
+            index: HashMap::new(),
+        };
+        store.load_segments()?;
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segments_dir(&self) -> PathBuf {
+        self.dir.join("segments")
+    }
+
+    /// The directory [`Store::claim`] locks live in.
+    #[must_use]
+    pub fn locks_dir(&self) -> PathBuf {
+        self.dir.join("locks")
+    }
+
+    /// Loads every segment, least recently used first so later (fresher)
+    /// segments shadow earlier ones in the index.
+    fn load_segments(&mut self) -> Result<(), StoreError> {
+        self.segments.clear();
+        self.index.clear();
+        let mut files: Vec<(SystemTime, String, PathBuf, u64)> = Vec::new();
+        for entry in std::fs::read_dir(self.segments_dir())?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "dsrs") {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            files.push((
+                meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                name,
+                path,
+                meta.len(),
+            ));
+        }
+        // Deterministic order even on coarse-mtime filesystems.
+        files.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (modified, name, path, bytes) in files {
+            let raw = std::fs::read(&path)?;
+            let segment = Segment::decode(&raw).map_err(|e| StoreError::Corrupt {
+                file: name.clone(),
+                why: e.to_string(),
+            })?;
+            self.attach(LoadedSegment {
+                name,
+                path,
+                bytes,
+                modified,
+                segment,
+            });
+        }
+        Ok(())
+    }
+
+    fn attach(&mut self, loaded: LoadedSegment) {
+        let seg_idx = self.segments.len();
+        for (rec_idx, (key, _)) in loaded.segment.records.iter().enumerate() {
+            self.index.insert(*key, (seg_idx, rec_idx));
+        }
+        self.segments.push(loaded);
+    }
+
+    /// Looks up the freshest record stored under `key`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&Value> {
+        let &(seg, rec) = self.index.get(&key)?;
+        Some(&self.segments[seg].segment.records[rec].1)
+    }
+
+    /// The file name of the segment currently winning `key` — a stable
+    /// identity clients can use to deduplicate per-segment work (e.g.
+    /// touching a segment once per sweep instead of once per hit).
+    #[must_use]
+    pub fn segment_name_of(&self, key: u64) -> Option<&str> {
+        let &(seg, _) = self.index.get(&key)?;
+        Some(&self.segments[seg].name)
+    }
+
+    /// Whether any record is stored under `key`.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of segments on disk.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total bytes held by segment files.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Metadata for every segment, least recently used first.
+    #[must_use]
+    pub fn segment_infos(&self) -> Vec<SegmentInfo> {
+        let mut infos: Vec<SegmentInfo> = self
+            .segments
+            .iter()
+            .map(|s| SegmentInfo {
+                name: s.name.clone(),
+                bytes: s.bytes,
+                records: s.segment.records.len(),
+                modified: s.modified,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.name.cmp(&b.name)));
+        infos
+    }
+
+    /// Publishes `records` as one new immutable segment (atomic rename of
+    /// a content-addressed file) and indexes it. Returns the new segment's
+    /// metadata, or `None` for an empty batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn publish(
+        &mut self,
+        records: Vec<(u64, Value)>,
+    ) -> Result<Option<SegmentInfo>, StoreError> {
+        if records.is_empty() {
+            return Ok(None);
+        }
+        let segment = Segment::new(records);
+        let bytes = segment.encode();
+        let name = Segment::content_name(&bytes);
+        let path = self.segments_dir().join(&name);
+        atomic_write(&path, &bytes)?;
+        let meta = std::fs::metadata(&path)?;
+        // An identical batch re-published lands on the same file; refresh
+        // the in-memory copy instead of double-attaching, and re-assert its
+        // records as the shadow winners — its mtime is now the newest, and
+        // a reopen (which orders by mtime) must resolve keys the same way
+        // this handle does.
+        if let Some(pos) = self.segments.iter().position(|s| s.name == name) {
+            self.segments[pos].modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            for (rec_idx, (key, _)) in self.segments[pos].segment.records.iter().enumerate() {
+                self.index.insert(*key, (pos, rec_idx));
+            }
+            return Ok(Some(self.segment_infos_for(pos)));
+        }
+        let loaded = LoadedSegment {
+            name,
+            path,
+            bytes: meta.len(),
+            modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            segment,
+        };
+        self.attach(loaded);
+        Ok(Some(self.segment_infos_for(self.segments.len() - 1)))
+    }
+
+    fn segment_infos_for(&self, idx: usize) -> SegmentInfo {
+        let s = &self.segments[idx];
+        SegmentInfo {
+            name: s.name.clone(),
+            bytes: s.bytes,
+            records: s.segment.records.len(),
+            modified: s.modified,
+        }
+    }
+
+    /// Re-touches the segment holding `key` (best effort) so LRU eviction
+    /// tracks use, not just creation. Records decoded in memory stay
+    /// readable even if another process evicts the file meanwhile.
+    ///
+    /// Caveat for clients that overwrite keys with *different* values:
+    /// shadow precedence is mtime order, so touching a segment promotes
+    /// **all** its records — including ones shadowed by a newer segment —
+    /// in the order a reopen computes. The sweep cache is immune (a key's
+    /// value is a pure function of the key); a future client that mutates
+    /// values should [`Store::compact`] after overwriting (see ROADMAP on
+    /// per-key versioning).
+    pub fn touch(&self, key: u64) {
+        if let Some(&(seg, _)) = self.index.get(&key) {
+            if let Ok(f) = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&self.segments[seg].path)
+            {
+                let _ = f.set_modified(SystemTime::now());
+            }
+        }
+    }
+
+    /// Picks up segments published by other processes since open (or the
+    /// last refresh). In-memory state for already-loaded segments is kept.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`] (a newly appeared corrupt segment fails).
+    pub fn refresh(&mut self) -> Result<usize, StoreError> {
+        let known: std::collections::HashSet<String> =
+            self.segments.iter().map(|s| s.name.clone()).collect();
+        let mut fresh: Vec<(SystemTime, String, PathBuf, u64)> = Vec::new();
+        for entry in std::fs::read_dir(self.segments_dir())?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "dsrs") {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if known.contains(&name) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            fresh.push((
+                meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                name,
+                path,
+                meta.len(),
+            ));
+        }
+        fresh.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let found = fresh.len();
+        for (modified, name, path, bytes) in fresh {
+            let raw = std::fs::read(&path)?;
+            let segment = Segment::decode(&raw).map_err(|e| StoreError::Corrupt {
+                file: name.clone(),
+                why: e.to_string(),
+            })?;
+            self.attach(LoadedSegment {
+                name,
+                path,
+                bytes,
+                modified,
+                segment,
+            });
+        }
+        Ok(found)
+    }
+
+    /// Tries to claim `name` in the store's lock directory; `Ok(None)`
+    /// means another claimant holds it.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the lock already existing.
+    pub fn claim(&self, name: &str) -> std::io::Result<Option<LockFile>> {
+        LockFile::acquire(self.locks_dir(), name)
+    }
+
+    /// Evicts least-recently-used segments until the store fits in
+    /// `max_bytes`. Returns what was examined, evicted and kept.
+    ///
+    /// The pass is guarded by a `gc` lock claim so concurrent collectors
+    /// (two sweeps finishing together) do not double-evict; the loser
+    /// returns an all-kept outcome, with a warning on stderr naming the
+    /// claim holder — a claim left by a worker that died without unwinding
+    /// must be removed by hand (its holder pid is recorded in the file),
+    /// or the byte cap would silently stop being enforced. Eviction is
+    /// best-effort: a segment that cannot be removed is counted as kept.
+    pub fn gc(&mut self, max_bytes: u64) -> GcOutcome {
+        let Ok(Some(_guard)) = self.claim("gc") else {
+            eprintln!(
+                "warning: store gc skipped: {} is claimed ({}); if no collector is \
+                 running, the claim is stale — remove the file to re-enable eviction",
+                self.locks_dir().join("gc.lock").display(),
+                LockFile::holder(self.locks_dir(), "gc")
+                    .unwrap_or_else(|| "unknown holder".to_string()),
+            );
+            return GcOutcome {
+                examined: self.segments.len(),
+                kept: self.segments.len(),
+                kept_bytes: self.total_bytes(),
+                ..GcOutcome::default()
+            };
+        };
+        // Re-stat mtimes first: touches (this process's or another's)
+        // happen on disk, and recency must reflect them.
+        for seg in &mut self.segments {
+            if let Ok(meta) = std::fs::metadata(&seg.path) {
+                seg.modified = meta.modified().unwrap_or(seg.modified);
+            }
+        }
+        // LRU order over current segments (self.segments is load-ordered,
+        // but publishes appended since may interleave with touches).
+        let mut order: Vec<usize> = (0..self.segments.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&self.segments[a], &self.segments[b]);
+            sa.modified.cmp(&sb.modified).then(sa.name.cmp(&sb.name))
+        });
+        let mut outcome = GcOutcome {
+            examined: self.segments.len(),
+            ..GcOutcome::default()
+        };
+        let mut excess = self.total_bytes().saturating_sub(max_bytes);
+        let mut evicted_idx: Vec<usize> = Vec::new();
+        for idx in order {
+            let seg = &self.segments[idx];
+            let evicted = excess > 0 && std::fs::remove_file(&seg.path).is_ok();
+            if evicted {
+                excess = excess.saturating_sub(seg.bytes);
+                outcome.evicted += 1;
+                outcome.evicted_bytes += seg.bytes;
+                evicted_idx.push(idx);
+            } else {
+                outcome.kept += 1;
+                outcome.kept_bytes += seg.bytes;
+            }
+        }
+        if !outcome.is_noop() {
+            evicted_idx.sort_unstable();
+            for idx in evicted_idx.into_iter().rev() {
+                self.segments.remove(idx);
+            }
+            self.reindex();
+        }
+        outcome
+    }
+
+    /// Folds every live record into one fresh segment (in ascending key
+    /// order, so compaction is deterministic) and removes the old
+    /// segments. Shadowed duplicates are dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure; the store is reloaded
+    /// from disk on success.
+    pub fn compact(&mut self) -> Result<CompactOutcome, StoreError> {
+        let before_segments = self.segments.len();
+        let before_bytes = self.total_bytes();
+        let mut keys: Vec<u64> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        let records: Vec<(u64, Value)> = keys
+            .iter()
+            .map(|&k| (k, self.get(k).expect("indexed key").clone()))
+            .collect();
+        let n_records = records.len();
+        let old_names: Vec<(String, PathBuf)> = self
+            .segments
+            .iter()
+            .map(|s| (s.name.clone(), s.path.clone()))
+            .collect();
+        let fresh = self.publish(records)?;
+        let fresh_name = fresh.as_ref().map(|i| i.name.clone());
+        for (name, path) in old_names {
+            if Some(&name) != fresh_name.as_ref() {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        self.load_segments()?;
+        Ok(CompactOutcome {
+            segments_before: before_segments,
+            bytes_before: before_bytes,
+            bytes_after: self.total_bytes(),
+            records: n_records,
+        })
+    }
+
+    /// Rebuilds the key index under the store's one precedence rule:
+    /// freshest `(mtime, name)` wins — the same order [`Store::open`]
+    /// applies, so the in-memory view and a reopen always resolve a
+    /// duplicated key identically.
+    fn reindex(&mut self) {
+        let mut order: Vec<usize> = (0..self.segments.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&self.segments[a], &self.segments[b]);
+            sa.modified.cmp(&sb.modified).then(sa.name.cmp(&sb.name))
+        });
+        self.index.clear();
+        for seg_idx in order {
+            for rec_idx in 0..self.segments[seg_idx].segment.records.len() {
+                let key = self.segments[seg_idx].segment.records[rec_idx].0;
+                self.index.insert(key, (seg_idx, rec_idx));
+            }
+        }
+    }
+}
+
+impl GcOutcome {
+    fn is_noop(&self) -> bool {
+        self.evicted == 0
+    }
+}
+
+/// Whether `name` looks like a v2 cache entry file: `<16 hex digits>.json`
+/// (the old per-scenario layout named files by the scenario's hex cache
+/// key). Deliberately narrow so unrelated JSON sitting in the directory —
+/// a `plan.json`, an exported report — is neither flagged at open nor
+/// touched by migration.
+pub fn is_v2_entry_name(name: &str) -> bool {
+    name.strip_suffix(".json")
+        .is_some_and(|stem| stem.len() == 16 && stem.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+/// Counts v2-style per-scenario JSON entries directly under `dir`.
+fn count_legacy_json(dir: &Path) -> std::io::Result<usize> {
+    let mut n = 0;
+    match std::fs::read_dir(dir) {
+        Ok(rd) => {
+            for entry in rd.filter_map(Result::ok) {
+                if entry
+                    .path()
+                    .file_name()
+                    .is_some_and(|f| is_v2_entry_name(&f.to_string_lossy()))
+                {
+                    n += 1;
+                }
+            }
+            Ok(n)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dsmt-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn value(n: u64) -> Value {
+        Value::Object(vec![
+            ("n".to_string(), Value::U64(n)),
+            ("label".to_string(), Value::Str(format!("record-{n}"))),
+        ])
+    }
+
+    #[test]
+    fn publish_then_get_round_trips_across_reopen() {
+        let dir = temp_store("roundtrip");
+        let mut store = Store::open(&dir, 3).expect("open");
+        assert!(store.get(1).is_none());
+        store.publish(vec![(1, value(1)), (2, value(2))]).unwrap();
+        assert_eq!(store.get(1), Some(&value(1)));
+        assert_eq!(store.record_count(), 2);
+        drop(store);
+        let store = Store::open(&dir, 3).expect("reopen");
+        assert_eq!(store.get(2), Some(&value(2)));
+        assert_eq!(store.segment_count(), 1);
+        assert!(store.total_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_segments_shadow_earlier_ones() {
+        let dir = temp_store("shadow");
+        let mut store = Store::open(&dir, 1).expect("open");
+        store.publish(vec![(7, value(1))]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.publish(vec![(7, value(2))]).unwrap();
+        assert_eq!(store.get(7), Some(&value(2)));
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(store.segment_count(), 2);
+        drop(store);
+        // The shadow survives a reload (mtime order).
+        let store = Store::open(&dir, 1).expect("reopen");
+        assert_eq!(store.get(7), Some(&value(2)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_mismatch_and_legacy_layout_fail_stop() {
+        let dir = temp_store("schema");
+        drop(Store::open(&dir, 2).expect("open v2"));
+        assert_eq!(
+            Store::open(&dir, 3).unwrap_err(),
+            StoreError::SchemaMismatch {
+                found: 2,
+                expected: 3
+            }
+        );
+        let legacy = temp_store("legacy");
+        std::fs::create_dir_all(&legacy).unwrap();
+        std::fs::write(legacy.join("0011223344556677.json"), "{}").unwrap();
+        assert_eq!(
+            Store::open(&legacy, 3).unwrap_err(),
+            StoreError::LegacyLayout { json_files: 1 }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&legacy);
+    }
+
+    #[test]
+    fn corrupt_segments_are_rejected_by_name() {
+        let dir = temp_store("corrupt");
+        let mut store = Store::open(&dir, 1).expect("open");
+        let info = store.publish(vec![(1, value(1))]).unwrap().unwrap();
+        drop(store);
+        let path = dir.join("segments").join(&info.name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        match Store::open(&dir, 1) {
+            Err(StoreError::Corrupt { file, .. }) => assert_eq!(file, info.name),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_batches_collapse_to_one_segment() {
+        let dir = temp_store("idempotent");
+        let mut store = Store::open(&dir, 1).expect("open");
+        let a = store.publish(vec![(1, value(1))]).unwrap().unwrap();
+        let b = store.publish(vec![(1, value(1))]).unwrap().unwrap();
+        assert_eq!(a.name, b.name);
+        assert_eq!(store.segment_count(), 1);
+        assert!(store.publish(Vec::new()).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn republished_batches_win_shadowing_in_memory_and_on_reopen() {
+        let dir = temp_store("republish-shadow");
+        let mut store = Store::open(&dir, 1).expect("open");
+        store.publish(vec![(7, value(1))]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.publish(vec![(7, value(2))]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Re-publishing the first batch collapses onto its old file but
+        // bumps its mtime: it must become the shadow winner both for this
+        // handle and for a reopen (which orders by mtime).
+        store.publish(vec![(7, value(1))]).unwrap();
+        assert_eq!(store.segment_count(), 2);
+        assert_eq!(store.get(7), Some(&value(1)), "in-memory view");
+        drop(store);
+        let store = Store::open(&dir, 1).expect("reopen");
+        assert_eq!(store.get(7), Some(&value(1)), "reopened view agrees");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_entry_names_are_detected_narrowly() {
+        assert!(is_v2_entry_name("00112233aabbccdd.json"));
+        assert!(is_v2_entry_name("FFFFFFFFFFFFFFFF.json"));
+        for foreign in [
+            "plan.json",
+            "STORE.json",
+            "report.json",
+            "00112233aabbccdd.dsr",
+            "0011.json",
+            "00112233aabbccddee.json",
+            "00112233aabbccdg.json",
+            "00112233aabbccdd",
+        ] {
+            assert!(!is_v2_entry_name(foreign), "{foreign}");
+        }
+    }
+
+    #[test]
+    fn foreign_json_does_not_trigger_the_legacy_fail_stop() {
+        let dir = temp_store("foreign-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("plan.json"), "{}").unwrap();
+        let store = Store::open(&dir, 3).expect("foreign JSON is not a v2 cache");
+        assert_eq!(store.record_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_lru_segments_down_to_cap() {
+        let dir = temp_store("gc");
+        let mut store = Store::open(&dir, 1).expect("open");
+        for n in 0..4 {
+            store.publish(vec![(n, value(n))]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let infos = store.segment_infos();
+        assert_eq!(infos.len(), 4);
+        let newest = infos.last().unwrap().clone();
+        // Touch key 0 so its (oldest) segment becomes the most recent.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.touch(0);
+        let outcome = store.gc(newest.bytes * 2);
+        assert_eq!(outcome.examined, 4);
+        assert_eq!(outcome.evicted, 2);
+        assert_eq!(outcome.kept, 2);
+        assert!(store.contains(0), "touched segment survives");
+        assert!(store.contains(3), "newest segment survives");
+        assert!(!store.contains(1) && !store.contains(2));
+        // A generous cap evicts nothing; zero empties the store.
+        assert_eq!(store.gc(u64::MAX).evicted, 0);
+        assert_eq!(store.gc(0).evicted, 2);
+        assert_eq!(store.record_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_folds_everything_into_one_segment() {
+        let dir = temp_store("compact");
+        let mut store = Store::open(&dir, 1).expect("open");
+        store.publish(vec![(1, value(1)), (2, value(2))]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.publish(vec![(2, value(22)), (3, value(3))]).unwrap();
+        let outcome = store.compact().expect("compact");
+        assert_eq!(outcome.segments_before, 2);
+        assert_eq!(outcome.records, 3);
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.get(2), Some(&value(22)), "shadow winner survives");
+        assert_eq!(store.get(1), Some(&value(1)));
+        // Compacting a compacted store is a no-op fixed point.
+        let again = store.compact().expect("recompact");
+        assert_eq!(again.bytes_before, again.bytes_after);
+        assert_eq!(store.segment_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_picks_up_foreign_segments() {
+        let dir = temp_store("refresh");
+        let mut a = Store::open(&dir, 1).expect("open a");
+        let mut b = Store::open(&dir, 1).expect("open b");
+        a.publish(vec![(1, value(1))]).unwrap();
+        assert!(b.get(1).is_none(), "open-time snapshot");
+        assert_eq!(b.refresh().expect("refresh"), 1);
+        assert_eq!(b.get(1), Some(&value(1)));
+        assert_eq!(b.refresh().expect("refresh again"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property and concurrency tests for the store: random value trees must
+//! round-trip through segments, multi-segment append + compact must
+//! preserve the key→value mapping exactly, and racing writers must never
+//! corrupt each other.
+
+use proptest::prelude::*;
+use serde::Value;
+
+use dsmt_store::{Segment, Store};
+
+/// A small random [`Value`] generator: scalars at the leaves, arrays and
+/// objects down to `depth`. Floats are generated from bits so NaN and
+/// infinities occur; object keys are drawn from a tiny pool so interning
+/// gets exercised.
+fn random_value(rng_bits: u64, depth: u32) -> Value {
+    let kind = rng_bits % if depth == 0 { 6 } else { 8 };
+    let payload = rng_bits / 8;
+    match kind {
+        0 => Value::Null,
+        1 => Value::Bool(payload.is_multiple_of(2)),
+        2 => Value::U64(payload),
+        3 => Value::I64(payload as i64),
+        4 => {
+            let x = f64::from_bits(payload.rotate_left(17));
+            Value::F64(x)
+        }
+        5 => Value::Str(format!("s{}", payload % 7)),
+        6 => Value::Array(
+            (0..payload % 4)
+                .map(|i| random_value(payload.wrapping_mul(i + 3) ^ 0x9e37, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..payload % 4)
+                .map(|i| {
+                    (
+                        format!("k{}", (payload + i) % 5),
+                        random_value(payload.wrapping_mul(i + 5) ^ 0x79b9, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Bit-exact equality via re-encode (Value's PartialEq fails on NaN).
+fn bits_equal(a: &Value, b: &Value) -> bool {
+    let enc = |v: &Value| {
+        let seg = Segment::new(vec![(0, v.clone())]);
+        seg.encode()
+    };
+    enc(a) == enc(b)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsmt-store-prop-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #[test]
+    fn segments_round_trip_random_record_batches(
+        seeds in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let records: Vec<(u64, Value)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64, random_value(s, 3)))
+            .collect();
+        let seg = Segment::new(records);
+        let bytes = seg.encode();
+        let back = Segment::decode(&bytes).expect("decode");
+        prop_assert_eq!(back.records.len(), seg.records.len());
+        for ((ka, va), (kb, vb)) in seg.records.iter().zip(&back.records) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!(bits_equal(va, vb));
+        }
+        // Canonical: re-encoding reproduces the bytes.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let _ = Segment::decode(&bytes);
+    }
+
+    #[test]
+    fn append_then_compact_preserves_the_key_value_mapping(
+        case in any::<u64>(),
+        batches in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 1..6),
+            1..5,
+        ),
+    ) {
+        let dir = temp_dir(&format!("append-compact-{case}"));
+        let mut store = Store::open(&dir, 1).expect("open");
+        // Publish batches whose keys overlap (key space 0..8): later
+        // batches shadow earlier ones, like repeated sweeps over
+        // overlapping grids.
+        let mut expect: std::collections::HashMap<u64, Value> = Default::default();
+        for (b, batch) in batches.iter().enumerate() {
+            let records: Vec<(u64, Value)> = batch
+                .iter()
+                .map(|&s| (s % 8, random_value(s ^ (b as u64) << 40, 2)))
+                .collect();
+            for (k, v) in &records {
+                expect.insert(*k, v.clone());
+            }
+            store.publish(records).expect("publish");
+        }
+        let check = |store: &Store| {
+            for (k, v) in &expect {
+                let got = store.get(*k).expect("key present");
+                assert!(bits_equal(got, v), "key {k} mismatch");
+            }
+            assert_eq!(store.record_count(), expect.len());
+        };
+        check(&store);
+        // Reload from disk: same mapping.
+        let mut store = Store::open(&dir, 1).expect("reopen");
+        check(&store);
+        // Compact: same mapping, single segment.
+        store.compact().expect("compact");
+        check(&store);
+        prop_assert_eq!(store.segment_count(), 1);
+        // And once more from disk.
+        let store = Store::open(&dir, 1).expect("reopen after compact");
+        check(&store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Two writers publishing concurrently into one store directory (separate
+/// `Store` handles, like two shard processes sharing a cache mount) must
+/// both land, verify, and be visible after a refresh.
+#[test]
+fn concurrent_writers_never_corrupt_the_store() {
+    let dir = temp_dir("two-writers");
+    drop(Store::open(&dir, 1).expect("create"));
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            let dir = &dir;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut store = Store::open(dir, 1).expect("open");
+                barrier.wait();
+                for batch in 0..8u64 {
+                    let key = w * 1000 + batch;
+                    store
+                        .publish(vec![(key, Value::U64(key))])
+                        .expect("publish");
+                }
+            });
+        }
+    });
+    let mut store = Store::open(&dir, 1).expect("reopen verifies every segment");
+    assert_eq!(store.record_count(), 16);
+    for w in 0..2u64 {
+        for batch in 0..8u64 {
+            let key = w * 1000 + batch;
+            assert_eq!(store.get(key), Some(&Value::U64(key)), "key {key}");
+        }
+    }
+    // A live handle sees the other writer's segments after refresh.
+    assert_eq!(store.refresh().expect("refresh"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Racing claimants over the store's lock directory: exactly one wins per
+/// name, every loser sees the claim, and release frees it — the contract
+/// the shard `--missing` recovery path depends on.
+#[test]
+fn racing_store_claims_hand_out_each_name_once() {
+    let dir = temp_dir("claims");
+    let store = Store::open(&dir, 1).expect("open");
+    let winners = std::sync::Mutex::new(Vec::new());
+    let barrier = std::sync::Barrier::new(6);
+    std::thread::scope(|s| {
+        for worker in 0..6usize {
+            let store = &store;
+            let winners = &winners;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for name in ["shard-0", "shard-1", "shard-2"] {
+                    if let Ok(Some(guard)) = store.claim(name) {
+                        winners.lock().unwrap().push((name, worker));
+                        // Hold until the scope ends so no release/re-claim
+                        // during the race.
+                        std::mem::forget(guard);
+                    }
+                }
+            });
+        }
+    });
+    let mut won = winners.into_inner().unwrap();
+    won.sort();
+    let names: Vec<&str> = won.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, vec!["shard-0", "shard-1", "shard-2"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,14 +1,31 @@
-//! The on-disk result cache.
+//! The on-disk result cache, backed by the `dsmt-store` segment layout.
 //!
-//! One JSON file per scenario, named by the scenario's cache key (a stable
-//! hash over config, workload, seed and instruction budget — see
-//! [`Scenario::cache_key`]). Each file stores the scenario alongside the
-//! results, so a hit verifies the full scenario for equality: a hash
-//! collision degrades to a miss instead of returning the wrong cell.
+//! Cache schema **v3**: instead of one pretty-JSON file per scenario (the
+//! v2 layout, ~2 KB each), results live in a content-addressed
+//! [`Store`] — checksummed, string-interned binary segments published with
+//! atomic renames. A sweep buffers its misses and publishes them as one
+//! segment when it finishes (or every [`FLUSH_THRESHOLD`] records,
+//! whichever comes first), so a warm cache is a handful of compact files
+//! instead of thousands of tiny ones: ~6x smaller on disk on the bench
+//! grid, and `ls`/GC touch segment metadata instead of streaming every
+//! entry.
 //!
-//! Writes go through a temp file + rename, so a crash mid-write leaves no
-//! half-entry behind. Unreadable or stale-schema entries are treated as
-//! misses and overwritten.
+//! Entries are keyed by the scenario's stable cache key (see
+//! [`Scenario::cache_key`]) and carry a second, independently derived
+//! scenario hash that is re-verified on every hit — a collision on the key
+//! alone degrades to a miss instead of returning the wrong cell.
+//!
+//! Opening a directory still holding the v2 layout **fails stop** with a
+//! pointer to `dsmt sweep migrate`, which re-encodes every readable v2
+//! entry into one v3 segment (see [`migrate_v2`]).
+//!
+//! **Visibility contract**: a cache handle reads an open-time snapshot of
+//! the store. Segments another process publishes *while* a sweep is
+//! running are not consulted (each engine run opens a fresh handle, so
+//! sequential processes always see each other); the cost of that race is
+//! re-simulating a cell another host just finished, never a wrong result.
+//! `dsmt_store::Store::refresh` is the primitive a live-polling transport
+//! would build on (see the ROADMAP's remote-transport item).
 //!
 //! Configuration via environment:
 //!
@@ -16,21 +33,27 @@
 //! * `DSMT_SWEEP_CACHE=<dir>` uses `<dir>`;
 //! * unset: `target/sweep-cache` under the current directory;
 //! * `DSMT_SWEEP_CACHE_MAX_BYTES=<n>` caps the cache size — sweeps garbage
-//!   collect least-recently-used entries down to the cap when they finish
+//!   collect least-recently-used segments down to the cap when they finish
 //!   (`dsmt sweep gc` runs the same collection on demand).
 //!
-//! Recency for the LRU order is the entry file's modification time: a cache
-//! *hit* re-touches the file, so entries that keep answering sweeps stay
-//! resident while abandoned parameter corners age out first.
+//! Recency for the LRU order is the segment file's modification time: a
+//! cache *hit* re-touches the segment, so segments that keep answering
+//! sweeps stay resident while abandoned parameter corners age out first.
 
-use std::path::{Path, PathBuf};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::SystemTime;
+use std::sync::{Mutex, RwLock};
 
 use dsmt_core::SimResults;
-use serde::{Deserialize, Serialize};
+use dsmt_store::{fnv1a64, CompactOutcome, GcOutcome, SegmentInfo, Store};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::{Scenario, CACHE_SCHEMA_VERSION};
+
+/// Pending misses are published as a segment once this many accumulate,
+/// bounding how much a crashed sweep can lose.
+pub const FLUSH_THRESHOLD: usize = 256;
 
 /// Where (and whether) a sweep caches results.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,17 +94,6 @@ impl CacheMode {
     }
 }
 
-/// What one cache file holds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct CacheEntry {
-    /// Schema version the entry was written under.
-    schema: u32,
-    /// The scenario that produced the results (verified on read).
-    scenario: Scenario,
-    /// The cached simulation results.
-    results: SimResults,
-}
-
 /// Hit/miss counters for one sweep run.
 #[derive(Debug, Default)]
 pub struct CacheStats {
@@ -109,66 +121,127 @@ impl CacheStats {
     }
 }
 
-/// A directory of cached [`SimResults`] keyed by scenario hash.
+/// The independent verification hash stored inside every entry: a
+/// different derivation than [`Scenario::cache_key`] over the same
+/// canonical JSON, so returning a wrong cell requires two simultaneous
+/// 64-bit collisions.
+fn verify_hash(scenario: &Scenario) -> u64 {
+    fnv1a64(format!("verify:{}", serde::to_string(scenario)).as_bytes())
+}
+
+/// Encodes one cache entry as a store [`Value`].
+fn entry_value(scenario: &Scenario, results: &SimResults) -> Value {
+    Value::Object(vec![
+        ("verify".to_string(), Value::U64(verify_hash(scenario))),
+        ("results".to_string(), results.to_value()),
+    ])
+}
+
+/// Decodes a store entry back into results, verifying it belongs to
+/// `scenario`. Any mismatch or malformation is a miss.
+fn decode_entry(value: &Value, scenario: &Scenario) -> Option<SimResults> {
+    let verify = value.field("verify").ok()?.as_u64().ok()?;
+    if verify != verify_hash(scenario) {
+        return None;
+    }
+    SimResults::from_value(value.field("results").ok()?).ok()
+}
+
+/// A store-backed cache of [`SimResults`] keyed by scenario hash.
+///
+/// Shared by reference across the sweep pool's workers: lookups take a
+/// read lock on the store, misses buffer into a pending map and are
+/// published as one segment on [`ResultCache::flush`] (called
+/// automatically at the threshold, on GC, and on drop).
 #[derive(Debug)]
 pub struct ResultCache {
-    dir: PathBuf,
+    store: RwLock<Store>,
+    pending: Mutex<HashMap<u64, Value>>,
+    /// Segments already LRU-touched through this handle. A warm sweep hits
+    /// hundreds of entries living in a handful of segments; one mtime
+    /// write per segment per handle carries the same recency information
+    /// as one per hit, without the per-hit syscalls.
+    touched: Mutex<std::collections::HashSet<String>>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory as a v3 store.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if the directory cannot be created.
+    /// An I/O error for filesystem failures — including, fail-stop, a
+    /// directory still in the v2 one-JSON-per-scenario layout (the error
+    /// text points at `dsmt sweep migrate`) and schema/corruption
+    /// mismatches detected by the store.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        let store = Store::open(dir, CACHE_SCHEMA_VERSION)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(ResultCache {
+            store: RwLock::new(store),
+            pending: Mutex::new(HashMap::new()),
+            touched: Mutex::new(std::collections::HashSet::new()),
+        })
     }
 
     /// The cache directory.
     #[must_use]
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    pub fn dir(&self) -> PathBuf {
+        self.store.read().expect("store lock").dir().to_path_buf()
     }
 
-    fn entry_path(&self, scenario: &Scenario) -> PathBuf {
-        self.dir.join(format!("{}.json", scenario.cache_key_hex()))
-    }
-
-    /// Looks up a scenario; any unreadable/mismatching entry is a miss.
-    /// A hit re-touches the entry file so the LRU eviction order (see
-    /// [`ResultCache::gc`]) tracks use, not just creation.
+    /// Looks up a scenario; any missing or mismatching entry is a miss.
+    /// A hit re-touches the containing segment so the LRU eviction order
+    /// (see [`ResultCache::gc`]) tracks use, not just creation.
     #[must_use]
     pub fn lookup(&self, scenario: &Scenario) -> Option<SimResults> {
-        let path = self.entry_path(scenario);
-        let text = std::fs::read_to_string(&path).ok()?;
-        let entry: CacheEntry = serde::from_str(&text).ok()?;
-        if entry.schema != CACHE_SCHEMA_VERSION || entry.scenario != *scenario {
-            return None;
+        let key = scenario.cache_key();
+        if let Some(value) = self.pending.lock().expect("pending lock").get(&key) {
+            return decode_entry(value, scenario);
         }
-        // Best-effort LRU touch; a failure only weakens eviction ordering.
-        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
-            let _ = f.set_modified(SystemTime::now());
+        let store = self.store.read().expect("store lock");
+        let results = decode_entry(store.get(key)?, scenario)?;
+        if let Some(name) = store.segment_name_of(key) {
+            if self
+                .touched
+                .lock()
+                .expect("touched lock")
+                .insert(name.to_string())
+            {
+                store.touch(key);
+            }
         }
-        Some(entry.results)
+        Some(results)
     }
 
-    /// Stores a scenario's results (best-effort: caching failures only cost
-    /// future re-simulation, so I/O errors are swallowed after a tmp-file
-    /// write + atomic rename).
+    /// Buffers a scenario's results for the next segment publish
+    /// (best-effort: caching failures only cost future re-simulation).
     pub fn store(&self, scenario: &Scenario, results: &SimResults) {
-        let entry = CacheEntry {
-            schema: CACHE_SCHEMA_VERSION,
-            scenario: scenario.clone(),
-            results: results.clone(),
+        let key = scenario.cache_key();
+        let flush_now = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            pending.insert(key, entry_value(scenario, results));
+            pending.len() >= FLUSH_THRESHOLD
         };
-        let final_path = self.entry_path(scenario);
-        let tmp_path = final_path.with_extension(format!("tmp.{}", std::process::id()));
-        let text = serde::to_string_pretty(&entry);
-        if std::fs::write(&tmp_path, text).is_ok() {
-            let _ = std::fs::rename(&tmp_path, &final_path);
+        if flush_now {
+            self.flush();
+        }
+    }
+
+    /// Publishes every buffered miss as one new segment (in ascending key
+    /// order, so the segment bytes are deterministic for a given batch).
+    /// I/O failures are swallowed, like v2's best-effort writes.
+    pub fn flush(&self) {
+        let records: Vec<(u64, Value)> = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            let mut drained: Vec<_> = pending.drain().collect();
+            drained.sort_by_key(|(k, _)| *k);
+            drained
+        };
+        if records.is_empty() {
+            return;
+        }
+        if let Err(e) = self.store.write().expect("store lock").publish(records) {
+            eprintln!("warning: sweep cache publish failed: {e}");
         }
     }
 
@@ -186,96 +259,166 @@ impl ResultCache {
         results
     }
 
-    /// Number of entries currently on disk (diagnostics).
+    /// Number of distinct cached scenarios (published + pending).
     #[must_use]
-    pub fn entry_count(&self) -> usize {
-        self.entries().len()
+    pub fn record_count(&self) -> usize {
+        let published = self.store.read().expect("store lock").record_count();
+        published + self.pending.lock().expect("pending lock").len()
     }
 
-    /// Metadata for every entry on disk, least recently used first.
+    /// Number of segment files on disk.
     #[must_use]
-    pub fn entries(&self) -> Vec<CacheEntryInfo> {
-        let Ok(rd) = std::fs::read_dir(&self.dir) else {
-            return Vec::new();
-        };
-        let mut out: Vec<CacheEntryInfo> = rd
-            .filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter_map(|e| {
-                let meta = e.metadata().ok()?;
-                Some(CacheEntryInfo {
-                    key: e.path().file_stem()?.to_string_lossy().into_owned(),
-                    bytes: meta.len(),
-                    modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
-                })
-            })
-            .collect();
-        // Tie-break equal mtimes (coarse filesystems) by key so the order —
-        // and hence eviction — is deterministic.
-        out.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.key.cmp(&b.key)));
-        out
+    pub fn segment_count(&self) -> usize {
+        self.store.read().expect("store lock").segment_count()
     }
 
-    /// Total bytes held by cache entries.
+    /// Metadata for every on-disk segment, least recently used first.
+    #[must_use]
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        self.store.read().expect("store lock").segment_infos()
+    }
+
+    /// Total bytes held by cache segments.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.entries().iter().map(|e| e.bytes).sum()
+        self.store.read().expect("store lock").total_bytes()
     }
 
-    /// Evicts least-recently-used entries until the cache fits in
-    /// `max_bytes`. Returns what was examined, evicted and kept.
+    /// Evicts least-recently-used segments until the cache fits in
+    /// `max_bytes` (flushing pending entries first so they participate).
+    /// Returns what was examined, evicted and kept.
     ///
-    /// Eviction is best-effort: an entry that cannot be removed is counted
-    /// as kept, and concurrent writers may push the cache back over the cap
-    /// — the next sweep's collection catches it.
+    /// Eviction is best-effort and guarded by a store-level `gc` claim:
+    /// concurrent collectors do not double-evict, and writers may push the
+    /// cache back over the cap — the next sweep's collection catches it.
     pub fn gc(&self, max_bytes: u64) -> GcOutcome {
-        let entries = self.entries();
-        let mut outcome = GcOutcome {
-            examined: entries.len(),
-            ..GcOutcome::default()
-        };
-        let total: u64 = entries.iter().map(|e| e.bytes).sum();
-        let mut excess = total.saturating_sub(max_bytes);
-        for entry in entries {
-            let evicted = excess > 0
-                && std::fs::remove_file(self.dir.join(format!("{}.json", entry.key))).is_ok();
-            if evicted {
-                excess = excess.saturating_sub(entry.bytes);
-                outcome.evicted += 1;
-                outcome.evicted_bytes += entry.bytes;
-            } else {
-                outcome.kept += 1;
-                outcome.kept_bytes += entry.bytes;
-            }
-        }
-        outcome
+        self.flush();
+        // Post-eviction, segments may be gone: let later hits re-touch.
+        self.touched.lock().expect("touched lock").clear();
+        self.store.write().expect("store lock").gc(max_bytes)
+    }
+
+    /// Folds every live entry into one fresh segment, dropping shadowed
+    /// duplicates (flushes pending entries first).
+    ///
+    /// # Errors
+    ///
+    /// The store's error, as text.
+    pub fn compact(&self) -> Result<CompactOutcome, String> {
+        self.flush();
+        self.touched.lock().expect("touched lock").clear();
+        self.store
+            .write()
+            .expect("store lock")
+            .compact()
+            .map_err(|e| e.to_string())
     }
 }
 
-/// On-disk metadata of one cache entry (see [`ResultCache::entries`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CacheEntryInfo {
-    /// The scenario cache key (hex file stem).
-    pub key: String,
-    /// Entry file size in bytes.
-    pub bytes: u64,
-    /// Last use (mtime: written on store, re-touched on hit).
-    pub modified: SystemTime,
+impl Drop for ResultCache {
+    fn drop(&mut self) {
+        self.flush();
+    }
 }
 
-/// What a [`ResultCache::gc`] pass did.
+/// What a [`migrate_v2`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GcOutcome {
-    /// Entries present when the pass started.
-    pub examined: usize,
-    /// Entries removed.
-    pub evicted: usize,
-    /// Bytes freed.
-    pub evicted_bytes: u64,
-    /// Entries left resident.
-    pub kept: usize,
-    /// Bytes left resident.
-    pub kept_bytes: u64,
+pub struct MigrateOutcome {
+    /// v2 entries re-encoded into the v3 store.
+    pub migrated: usize,
+    /// v2 files skipped (unreadable, foreign schema, malformed).
+    pub skipped: usize,
+    /// Total bytes of the v2 JSON entries.
+    pub bytes_before: u64,
+    /// Total bytes of the v3 store segments afterwards.
+    pub bytes_after: u64,
+}
+
+/// Migrates a v2 cache directory (one pretty-JSON file per scenario) into
+/// the v3 store layout, in place: every readable v2 entry is re-keyed
+/// under the v3 cache schema and published as one segment; the JSON files
+/// are then removed. Unreadable or foreign entries are skipped and
+/// counted — their cells will simply re-simulate.
+///
+/// The migration claims a `migrate` lock inside the directory, so two
+/// racing migrators cannot interleave.
+///
+/// # Errors
+///
+/// A human-readable message on I/O failure, on a directory already (or
+/// half) migrated with a different schema, or when another migrator holds
+/// the claim.
+pub fn migrate_v2(dir: impl Into<PathBuf>) -> Result<MigrateOutcome, String> {
+    let dir = dir.into();
+    let _claim = dsmt_store::LockFile::acquire(dir.join("locks"), "migrate")
+        .map_err(|e| format!("{}: cannot claim migrate lock: {e}", dir.display()))?
+        .ok_or_else(|| {
+            format!(
+                "{}: another migration holds the claim ({})",
+                dir.display(),
+                dsmt_store::LockFile::holder(dir.join("locks"), "migrate")
+                    .unwrap_or_else(|| "unknown holder".to_string())
+            )
+        })?;
+
+    let mut outcome = MigrateOutcome::default();
+    let mut records: Vec<(u64, Value)> = Vec::new();
+    let mut legacy_files: Vec<PathBuf> = Vec::new();
+    let rd = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        // Only files named like v2 entries (`<16-hex-key>.json`) are cache
+        // data; anything else — a plan.json, an exported report — is left
+        // strictly alone (and does not trigger the fail-stop either, see
+        // `dsmt_store::is_v2_entry_name`).
+        if !path
+            .file_name()
+            .is_some_and(|f| dsmt_store::is_v2_entry_name(&f.to_string_lossy()))
+        {
+            continue;
+        }
+        legacy_files.push(path.clone());
+        outcome.bytes_before += entry.metadata().map(|m| m.len()).unwrap_or(0);
+        match parse_v2_entry(&path) {
+            Some((scenario, results)) => {
+                records.push((scenario.cache_key(), entry_value(&scenario, &results)));
+                outcome.migrated += 1;
+            }
+            // A v2-named file that does not parse is a corrupt cache
+            // entry: worthless, and leaving it would re-trigger the
+            // fail-stop. It is counted and removed with the rest.
+            None => outcome.skipped += 1,
+        }
+    }
+    if legacy_files.is_empty() {
+        return Err(format!(
+            "{}: no v2 entries found (nothing to migrate)",
+            dir.display()
+        ));
+    }
+    // Remove the legacy entries *before* opening the store: their presence
+    // is exactly what makes Store::open fail-stop. Losing entries on a
+    // crash in this window costs re-simulation, never correctness.
+    for path in &legacy_files {
+        let _ = std::fs::remove_file(path);
+    }
+    records.sort_by_key(|(k, _)| *k);
+    let mut store = Store::open(&dir, CACHE_SCHEMA_VERSION).map_err(|e| e.to_string())?;
+    store.publish(records).map_err(|e| e.to_string())?;
+    outcome.bytes_after = store.total_bytes();
+    Ok(outcome)
+}
+
+/// Parses one v2 cache file: `{schema: 2, scenario, results}`.
+fn parse_v2_entry(path: &std::path::Path) -> Option<(Scenario, SimResults)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: Value = serde::from_str(&text).ok()?;
+    if value.field("schema").ok()?.as_u64().ok()? != 2 {
+        return None;
+    }
+    let scenario = Scenario::from_value(value.field("scenario").ok()?).ok()?;
+    let results = SimResults::from_value(value.field("results").ok()?).ok()?;
+    Some((scenario, results))
 }
 
 #[cfg(test)]
@@ -293,13 +436,17 @@ mod tests {
         }
     }
 
-    fn temp_cache(tag: &str) -> ResultCache {
+    fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "dsmt-sweep-cache-test-{}-{tag}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        ResultCache::open(dir).expect("cache dir")
+        dir
+    }
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        ResultCache::open(temp_dir(tag)).expect("cache dir")
     }
 
     #[test]
@@ -309,8 +456,14 @@ mod tests {
         assert!(cache.lookup(&s).is_none());
         let results = s.execute();
         cache.store(&s, &results);
+        // Served from the pending buffer before any flush...
+        assert_eq!(cache.lookup(&s).expect("pending hit"), results);
+        assert_eq!(cache.segment_count(), 0);
+        cache.flush();
+        // ...and from the published segment afterwards.
         assert_eq!(cache.lookup(&s).expect("hit"), results);
-        assert_eq!(cache.entry_count(), 1);
+        assert_eq!(cache.record_count(), 1);
+        assert_eq!(cache.segment_count(), 1);
         // A different scenario misses.
         assert!(cache.lookup(&scenario(2)).is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
@@ -329,47 +482,49 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_degrade_to_misses() {
-        let cache = temp_cache("corrupt");
+    fn drop_publishes_pending_entries() {
+        let dir = temp_dir("drop-flush");
         let s = scenario(4);
         let results = s.execute();
-        cache.store(&s, &results);
-        let path = cache.dir().join(format!("{}.json", s.cache_key_hex()));
-        std::fs::write(&path, "{ not json").expect("corrupt write");
-        assert!(cache.lookup(&s).is_none());
-        // run_cached repairs the entry.
-        let stats = CacheStats::default();
-        let repaired = cache.run_cached(&s, &stats);
-        assert_eq!(repaired, results);
-        assert_eq!((stats.hits(), stats.misses()), (0, 1));
-        assert_eq!(cache.lookup(&s).expect("repaired"), results);
-        let _ = std::fs::remove_dir_all(cache.dir());
+        {
+            let cache = ResultCache::open(&dir).expect("cache dir");
+            cache.store(&s, &results);
+        }
+        let cache = ResultCache::open(&dir).expect("reopen");
+        assert_eq!(cache.lookup(&s).expect("hit after drop"), results);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn entries_report_sizes_and_lru_order() {
-        let cache = temp_cache("entries");
+    fn v2_layout_fails_stop_with_migrate_hint() {
+        let dir = temp_dir("v2-failstop");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("00112233aabbccdd.json"), "{\"schema\": 2}").unwrap();
+        let err = ResultCache::open(&dir).expect_err("v2 dirs must fail stop");
+        assert!(err.to_string().contains("migrate"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_report_sizes_and_lru_order() {
+        let cache = temp_cache("segments");
         for seed in 0..3 {
             let s = scenario(seed);
             cache.store(&s, &s.execute());
+            cache.flush();
             // Coarse-mtime filesystems need distinct timestamps for a
             // deterministic recency check.
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
-        let entries = cache.entries();
-        assert_eq!(entries.len(), 3);
-        assert!(entries.iter().all(|e| e.bytes > 0));
-        assert!(entries.windows(2).all(|w| w[0].modified <= w[1].modified));
+        let segments = cache.segments();
+        assert_eq!(segments.len(), 3);
+        assert!(segments.iter().all(|e| e.bytes > 0 && e.records == 1));
+        assert!(segments.windows(2).all(|w| w[0].modified <= w[1].modified));
         assert_eq!(
             cache.total_bytes(),
-            entries.iter().map(|e| e.bytes).sum::<u64>()
+            segments.iter().map(|e| e.bytes).sum::<u64>()
         );
-        // A hit on the oldest entry re-touches it to the back of the queue.
-        let oldest = entries[0].key.clone();
-        let hit = cache.lookup(&scenario(0)).expect("hit");
-        assert_eq!(hit, scenario(0).execute());
-        let after = cache.entries();
-        assert_eq!(after.last().expect("entries").key, oldest);
+        assert_eq!(cache.record_count(), 3);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -379,20 +534,21 @@ mod tests {
         for seed in 10..14 {
             let s = scenario(seed);
             cache.store(&s, &s.execute());
+            cache.flush();
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
-        let entries = cache.entries();
+        let segments = cache.segments();
         let total = cache.total_bytes();
-        let newest = entries.last().expect("entries").clone();
-        // Cap to the newest entry's size: everything older must go.
+        let newest = segments.last().expect("segments").clone();
+        // Cap to the newest segment's size: everything older must go.
         let outcome = cache.gc(newest.bytes);
         assert_eq!(outcome.examined, 4);
         assert_eq!(outcome.evicted, 3);
         assert_eq!(outcome.kept, 1);
         assert_eq!(outcome.evicted_bytes + outcome.kept_bytes, total);
-        let left = cache.entries();
+        let left = cache.segments();
         assert_eq!(left.len(), 1);
-        assert_eq!(left[0].key, newest.key);
+        assert_eq!(left[0].name, newest.name);
         // The survivor still hits.
         assert!(cache.lookup(&scenario(13)).is_some());
         // A generous cap evicts nothing.
@@ -401,8 +557,96 @@ mod tests {
         // A zero cap empties the cache.
         let outcome = cache.gc(0);
         assert_eq!(outcome.evicted, 1);
-        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.segment_count(), 0);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn hits_keep_segments_resident_across_gc() {
+        let cache = temp_cache("lru-touch");
+        for seed in 20..23 {
+            let s = scenario(seed);
+            cache.store(&s, &s.execute());
+            cache.flush();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // Hit the oldest entry: its segment moves to the back of the queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(cache.lookup(&scenario(20)).is_some());
+        let survivor_budget = cache.segments().last().unwrap().bytes * 2;
+        let outcome = cache.gc(survivor_budget);
+        assert_eq!(outcome.evicted, 1);
+        assert!(cache.lookup(&scenario(20)).is_some(), "hit entry survives");
+        assert!(cache.lookup(&scenario(21)).is_none(), "cold entry evicted");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn compact_folds_segments_and_keeps_hits() {
+        let cache = temp_cache("compact");
+        let scenarios: Vec<Scenario> = (30..34).map(scenario).collect();
+        for s in &scenarios {
+            cache.store(s, &s.execute());
+            cache.flush();
+        }
+        assert_eq!(cache.segment_count(), 4);
+        let outcome = cache.compact().expect("compact");
+        assert_eq!(outcome.records, 4);
+        assert_eq!(cache.segment_count(), 1);
+        for s in &scenarios {
+            assert_eq!(cache.lookup(s).expect("hit"), s.execute());
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn migrate_v2_reencodes_entries_in_place() {
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Build a v2 layout by hand: {schema: 2, scenario, results} pretty
+        // JSON under <any-hex>.json (the v2 file name is not load-bearing;
+        // keys are re-derived from the scenario).
+        let scenarios: Vec<Scenario> = (40..43).map(scenario).collect();
+        let mut v2_bytes = 0u64;
+        for (i, s) in scenarios.iter().enumerate() {
+            let entry = Value::Object(vec![
+                ("schema".to_string(), Value::U64(2)),
+                ("scenario".to_string(), s.to_value()),
+                ("results".to_string(), s.execute().to_value()),
+            ]);
+            let text = serde::to_string_pretty(&entry);
+            v2_bytes += text.len() as u64;
+            std::fs::write(dir.join(format!("{i:016x}.json")), text).unwrap();
+        }
+        // Plus one corrupt v2-named entry (skipped + removed) and one
+        // unrelated JSON file (never touched, never counted).
+        std::fs::write(dir.join("ffffffffffffffff.json"), "{ not json").unwrap();
+        std::fs::write(dir.join("plan.json"), "{\"mine\": true}").unwrap();
+
+        let outcome = migrate_v2(&dir).expect("migrate");
+        assert_eq!(outcome.migrated, 3);
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("plan.json")).unwrap(),
+            "{\"mine\": true}",
+            "foreign JSON survives migration untouched"
+        );
+        assert!(!dir.join("ffffffffffffffff.json").exists());
+        assert!(outcome.bytes_before >= v2_bytes);
+        assert!(
+            outcome.bytes_after * 2 < outcome.bytes_before,
+            "v3 ({}) should be far smaller than v2 ({})",
+            outcome.bytes_after,
+            outcome.bytes_before
+        );
+        // The migrated store opens and hits.
+        let cache = ResultCache::open(&dir).expect("open migrated");
+        for s in &scenarios {
+            assert_eq!(cache.lookup(s).expect("migrated hit"), s.execute());
+        }
+        // Migrating again: nothing left to migrate.
+        assert!(migrate_v2(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

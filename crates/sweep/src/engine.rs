@@ -114,6 +114,14 @@ impl SweepEngine {
                 }
             })
             .collect();
+        // Publish the remaining misses now (Drop would too, but an
+        // explicit flush keeps the publish point well-defined). Sweeps
+        // with at most FLUSH_THRESHOLD misses publish exactly one
+        // key-sorted segment; larger ones flush incrementally, with
+        // scheduling-dependent batch boundaries.
+        if let Some(cache) = cache.as_ref() {
+            cache.flush();
+        }
         Self::maybe_gc(cache.as_ref());
         reports
     }
@@ -155,6 +163,9 @@ impl SweepEngine {
             cache_misses: stats.misses(),
             wall_secs,
         };
+        if let Some(cache) = cache.as_ref() {
+            cache.flush();
+        }
         Self::maybe_gc(cache.as_ref());
         report
     }

@@ -50,27 +50,23 @@ pub mod pool;
 pub mod record;
 pub mod scenario;
 
-pub use cache::{CacheEntryInfo, CacheMode, CacheStats, GcOutcome, ResultCache};
+pub use cache::{migrate_v2, CacheMode, CacheStats, MigrateOutcome, ResultCache};
 pub use engine::SweepEngine;
 pub use grid::{Axis, Cell, SeedMode, Setting, SweepGrid};
 pub use record::{CellPerf, RunRecord, SweepReport};
 pub use scenario::{Scenario, WorkloadSpec};
 
+// The persistence layer's hash and segment surface, re-exported so sweep
+// consumers need not depend on `dsmt-store` directly.
+pub use dsmt_store::{fnv1a64, GcOutcome, SegmentInfo};
+
 /// Bumped whenever the cache key derivation or the serialized record layout
 /// changes; stale entries then miss instead of deserializing garbage.
 /// Version 2: `SimConfig` gained the `fetch_policy` knob.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
-
-/// Stable 64-bit FNV-1a hash used for cache keys and seed derivation.
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Version 3: entries moved from per-scenario JSON files into the
+/// `dsmt-store` segment layout (see [`cache`]; `dsmt sweep migrate`
+/// converts v2 directories).
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// SplitMix64 step, used to derive per-cell seeds from a grid seed.
 #[must_use]
@@ -84,14 +80,6 @@ pub fn splitmix64(x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_is_stable() {
-        // Reference values pin the hash for cache-key compatibility.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
-    }
 
     #[test]
     fn splitmix_spreads_nearby_seeds() {

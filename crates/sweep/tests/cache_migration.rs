@@ -1,0 +1,136 @@
+//! End-to-end cache schema tests: a v2 fixture directory must fail-stop,
+//! migrate in place, and then serve a sweep entirely from cache — and the
+//! v3 store must stay ≥5x smaller on disk than the v2 JSON layout it
+//! replaced (the PR's acceptance criterion, measured on the bench grid).
+
+use dsmt_core::SimConfig;
+use dsmt_sweep::{migrate_v2, Axis, ResultCache, SweepEngine, SweepGrid, WorkloadSpec};
+use serde::{Serialize, Value};
+
+/// The 12-cell grid shape shared by `bench_sweep`, the CLI `demo` grid and
+/// the CI size assertion.
+fn bench_grid() -> SweepGrid {
+    SweepGrid::new(
+        "bench",
+        SimConfig::paper_multithreaded(1).with_queue_scaling(true),
+    )
+    .with_workload(WorkloadSpec::spec_mix(3_000))
+    .with_axis(Axis::threads(&[1, 2]))
+    .with_axis(Axis::decoupled(&[true, false]))
+    .with_axis(Axis::l2_latencies(&[16, 64, 256]))
+    .with_budget(10_000)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dsmt-cache-migration-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders a record the way the v2 cache did: one pretty-JSON
+/// `{schema: 2, scenario, results}` file per scenario.
+fn v2_entry_text(scenario: &dsmt_sweep::Scenario, results: &dsmt_core::SimResults) -> String {
+    let entry = Value::Object(vec![
+        ("schema".to_string(), Value::U64(2)),
+        ("scenario".to_string(), scenario.to_value()),
+        ("results".to_string(), results.to_value()),
+    ]);
+    serde::to_string_pretty(&entry)
+}
+
+#[test]
+fn v2_fixture_dir_fails_stop_then_migrates_and_serves_the_sweep() {
+    let dir = temp_dir("fixture");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Build the v2 fixture: every bench-grid cell in the old layout.
+    let grid = bench_grid();
+    let mut v2_bytes = 0u64;
+    for cell in grid.cells() {
+        let results = cell.scenario.execute();
+        let text = v2_entry_text(&cell.scenario, &results);
+        v2_bytes += text.len() as u64;
+        // v2 named files by the old (v2-keyed) hash; the name is not
+        // load-bearing for migration, which re-keys from the scenario.
+        std::fs::write(
+            dir.join(format!("{}.json", cell.scenario.cache_key_hex())),
+            text,
+        )
+        .unwrap();
+    }
+
+    // The v3 cache refuses the directory outright.
+    let err = ResultCache::open(&dir).expect_err("v2 layout must fail stop");
+    assert!(err.to_string().contains("migrate"), "got: {err}");
+
+    // Migration converts in place...
+    let outcome = migrate_v2(&dir).expect("migrate");
+    assert_eq!(outcome.migrated, grid.len());
+    assert_eq!(outcome.skipped, 0);
+    assert_eq!(outcome.bytes_before, v2_bytes);
+
+    // ...after which a sweep over the same grid simulates nothing.
+    let report = SweepEngine::new(2).with_cache_dir(&dir).run(&grid);
+    assert_eq!(report.cache_misses, 0, "warm migrated cache");
+    assert_eq!(report.cache_hits, grid.len());
+    // And the replayed records match fresh simulation bit-for-bit.
+    let fresh = SweepEngine::new(1).without_cache().run(&grid);
+    assert_eq!(report.records, fresh.records);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_v3_store_is_at_least_5x_smaller_than_the_v2_layout() {
+    let dir = temp_dir("size");
+    let grid = bench_grid();
+    let report = SweepEngine::new(2).with_cache_dir(&dir).run(&grid);
+    assert_eq!(report.cache_misses, grid.len());
+
+    let cache = ResultCache::open(&dir).expect("reopen");
+    let v3_bytes = cache.total_bytes();
+    assert!(v3_bytes > 0);
+    // What the same entries would have cost in the v2 layout.
+    let v2_bytes: u64 = report
+        .records
+        .iter()
+        .map(|r| v2_entry_text(&r.scenario, &r.results).len() as u64)
+        .sum();
+    assert!(
+        v3_bytes * 5 <= v2_bytes,
+        "v3 store ({v3_bytes} bytes) must be >=5x smaller than the v2 layout ({v2_bytes} bytes)"
+    );
+
+    // The warm store then answers a second engine run completely.
+    let warm = SweepEngine::new(4).with_cache_dir(&dir).run(&grid);
+    assert!(warm.fully_cached());
+    assert_eq!(warm.records, report.records);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_sweeps_share_one_store_without_corruption() {
+    // Two engines over overlapping subsets racing into one store — the
+    // shard executors' sharing pattern. Both publish; a fresh open then
+    // verifies every segment and replays the union.
+    let dir = temp_dir("race");
+    let grid = bench_grid();
+    let indices: Vec<usize> = (0..grid.len()).collect();
+    std::thread::scope(|s| {
+        for half in [&indices[..8], &indices[4..]] {
+            let dir = &dir;
+            let grid = &grid;
+            s.spawn(move || {
+                let _ = SweepEngine::new(2)
+                    .with_cache_dir(dir)
+                    .run_subset(grid, half);
+            });
+        }
+    });
+    let replay = SweepEngine::new(2).with_cache_dir(&dir).run(&grid);
+    assert!(replay.fully_cached(), "union of subsets covers the grid");
+    assert_eq!(
+        replay.records,
+        SweepEngine::new(1).without_cache().run(&grid).records
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

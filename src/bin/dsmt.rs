@@ -5,53 +5,69 @@
 //!
 //! ```text
 //! dsmt shard plan <grid> --shards N [--strategy S] [--out plan.json]
-//! dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]
+//! dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]
 //! dsmt shard merge <plan.json> [--dir DIR] [--out r.json] [--csv r.csv] [--dsr r.dsr]
 //! dsmt sweep run <grid> [--workers W] [--out r.json] [--csv r.csv] [--dsr r.dsr]
 //! dsmt sweep ls
 //! dsmt sweep gc [--max-bytes N]
+//! dsmt sweep compact
+//! dsmt sweep migrate [--dir DIR]
 //! dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
 //! ```
 //!
 //! `<grid>` is either a path to a `SweepGrid` JSON file or a built-in name:
-//! `demo`, `fetch-policy`, the figure grids (`fig1`, `fig3`, `fig4`,
-//! `fig5-l2-16`, `fig5-l2-64`) and the ablations (`ablation-iq-depth`,
-//! `ablation-mshr`, `ablation-unit-split`, `ablation-l1-assoc`). Built-in
-//! figure grids honour `DSMT_INSTS`; caching honours `DSMT_SWEEP_CACHE`
-//! and `DSMT_SWEEP_CACHE_MAX_BYTES` like every other binary.
+//! `demo`, `fetch-policy`, `seed-variance`, the figure grids (`fig1`,
+//! `fig3`, `fig4`, `fig5-l2-16`, `fig5-l2-64`) and the ablations
+//! (`ablation-iq-depth`, `ablation-mshr`, `ablation-unit-split`,
+//! `ablation-l1-assoc`). Built-in figure grids honour `DSMT_INSTS`;
+//! caching honours `DSMT_SWEEP_CACHE` and `DSMT_SWEEP_CACHE_MAX_BYTES`
+//! like every other binary.
+//!
+//! `shard run --missing` is the fleet-healing path: it claims every shard
+//! that has no verified output yet (O_EXCL lockfiles under the output
+//! directory) and executes the claimed ones, so any number of recovery
+//! workers can race safely. `sweep migrate` converts a v2 cache directory
+//! (one JSON file per scenario) into the v3 `dsmt-store` segment layout.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
-use dsmt_core::{FetchPolicy, SimConfig};
-use dsmt_experiments::{ablations, fig1, fig3, fig4, fig5, ExperimentParams};
+use dsmt_core::SimConfig;
+use dsmt_experiments::{
+    ablations, fetch_policy, fig1, fig3, fig4, fig5, seed_variance, ExperimentParams,
+};
 use dsmt_shard::{
-    merge_shards, plan, run_shard, shard_file_name, DsrFile, ShardManifest, ShardStrategy,
+    merge_shards, plan, run_missing, run_shard, shard_file_name, DsrFile, ShardManifest,
+    ShardStrategy,
 };
 use dsmt_sweep::{
-    export, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport, WorkloadSpec,
+    export, migrate_v2, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport,
+    WorkloadSpec,
 };
 
 const USAGE: &str = "\
-dsmt — sharded sweeps, cache tooling and report export
+dsmt — sharded sweeps, result-store tooling and report export
 
 USAGE:
   dsmt shard plan <grid> --shards N [--strategy contiguous|strided|hashed] [--out plan.json]
-  dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]
+  dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]
   dsmt shard merge <plan.json> [--dir DIR] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
   dsmt sweep run <grid> [--workers W] [--out report.json] [--csv report.csv] [--dsr report.dsr]
   dsmt sweep ls
   dsmt sweep gc [--max-bytes N]
+  dsmt sweep compact
+  dsmt sweep migrate [--dir DIR]
   dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
 
 GRIDS:
   a path to a SweepGrid JSON file, or a built-in name:
-  demo, fetch-policy, fig1, fig3, fig4, fig5-l2-16, fig5-l2-64,
-  ablation-iq-depth, ablation-mshr, ablation-unit-split, ablation-l1-assoc
+  demo, fetch-policy, seed-variance, fig1, fig3, fig4, fig5-l2-16,
+  fig5-l2-64, ablation-iq-depth, ablation-mshr, ablation-unit-split,
+  ablation-l1-assoc
 
 ENVIRONMENT:
   DSMT_INSTS                  instructions per cell for built-in figure grids
-  DSMT_SWEEP_CACHE            result cache dir, or `off`
+  DSMT_SWEEP_CACHE            result store dir, or `off`
   DSMT_SWEEP_CACHE_MAX_BYTES  LRU size cap applied after sweeps and by `sweep gc`
 ";
 
@@ -99,6 +115,9 @@ impl Parsed {
     }
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["canonical", "missing"];
+
 fn parse(args: &[String], allowed: &[&str]) -> Result<Parsed, String> {
     let mut parsed = Parsed {
         positional: Vec::new(),
@@ -110,8 +129,7 @@ fn parse(args: &[String], allowed: &[&str]) -> Result<Parsed, String> {
             if !allowed.contains(&name) {
                 return Err(format!("unknown flag `--{name}`"));
             }
-            if name == "canonical" {
-                // The only boolean flag (accepted by `report` alone).
+            if BOOL_FLAGS.contains(&name) {
                 parsed.flags.insert(name.to_string(), "1".to_string());
                 continue;
             }
@@ -138,7 +156,11 @@ fn engine(workers: Option<usize>) -> SweepEngine {
 
 fn builtin_grids() -> Vec<SweepGrid> {
     let params = ExperimentParams::from_env();
-    let mut grids = vec![demo_grid(), fetch_policy_grid(&params)];
+    let mut grids = vec![
+        demo_grid(),
+        fetch_policy::grid(&params),
+        seed_variance::grid(&params),
+    ];
     grids.push(fig1::grid(&params));
     grids.push(fig3::grid(&params));
     grids.push(fig4::grid(&params));
@@ -159,20 +181,6 @@ fn demo_grid() -> SweepGrid {
     .with_axis(Axis::decoupled(&[true, false]))
     .with_axis(Axis::l2_latencies(&[16, 64, 256]))
     .with_budget(10_000)
-}
-
-/// The Section 3.1 fetch discussion as a sweep: I-COUNT vs round-robin
-/// across thread counts at the paper's 16-cycle L2.
-fn fetch_policy_grid(params: &ExperimentParams) -> SweepGrid {
-    SweepGrid::new("fetch-policy", SimConfig::paper_multithreaded(1))
-        .with_workload(params.spec_mix())
-        .with_axis(Axis::threads(&[1, 2, 4, 6]))
-        .with_axis(Axis::fetch_policies(&[
-            FetchPolicy::ICount,
-            FetchPolicy::RoundRobin,
-        ]))
-        .with_seed(params.seed)
-        .with_budget(params.instructions_per_point)
 }
 
 fn resolve_grid(spec: &str) -> Result<SweepGrid, String> {
@@ -245,31 +253,61 @@ fn shard_plan(args: &[String]) -> Result<(), String> {
 }
 
 fn shard_run(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["index", "out-dir", "workers"])?;
+    let p = parse(args, &["index", "missing", "out-dir", "workers"])?;
+    let usage =
+        "usage: dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]";
     let [plan_path] = p.positional.as_slice() else {
-        return Err(
-            "usage: dsmt shard run <plan.json> --index I [--out-dir DIR] [--workers W]".into(),
-        );
+        return Err(usage.into());
     };
     let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
-    let index = p
-        .usize_flag("index")?
-        .ok_or("--index is required for `shard run`")?;
     let out_dir = PathBuf::from(p.flag("out-dir").unwrap_or("."));
     let engine = engine(p.usize_flag("workers")?);
-    let run = run_shard(&manifest, index, &engine).map_err(|e| e.to_string())?;
-    let out = out_dir.join(shard_file_name(&manifest, index));
-    run.dsr.write(&out).map_err(|e| e.to_string())?;
-    println!(
-        "shard {index}/{}: {} cells ({} cached, {} simulated) in {:.2}s -> {}",
-        manifest.num_shards(),
-        run.report.records.len(),
-        run.report.cache_hits,
-        run.report.cache_misses,
-        run.report.wall_secs,
-        out.display(),
-    );
-    Ok(())
+    let index = p.usize_flag("index")?;
+    let missing = p.flag("missing").is_some();
+    match (index, missing) {
+        (Some(_), true) | (None, false) => {
+            Err(format!("pass exactly one of --index or --missing\n{usage}"))
+        }
+        (Some(index), false) => {
+            let run = run_shard(&manifest, index, &engine).map_err(|e| e.to_string())?;
+            let out = out_dir.join(shard_file_name(&manifest, index));
+            run.dsr.write(&out).map_err(|e| e.to_string())?;
+            println!(
+                "shard {index}/{}: {} cells ({} cached, {} simulated) in {:.2}s -> {}",
+                manifest.num_shards(),
+                run.report.records.len(),
+                run.report.cache_hits,
+                run.report.cache_misses,
+                run.report.wall_secs,
+                out.display(),
+            );
+            Ok(())
+        }
+        (None, true) => {
+            let outcome = run_missing(&manifest, &out_dir, &engine).map_err(|e| e.to_string())?;
+            let list = |ix: &[usize]| {
+                ix.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "recovery pass over {} shards in {}: executed [{}], already done [{}], \
+                 claimed elsewhere [{}]",
+                manifest.num_shards(),
+                out_dir.display(),
+                list(&outcome.executed()),
+                list(&outcome.already_done()),
+                list(&outcome.claimed_elsewhere()),
+            );
+            if outcome.complete() {
+                println!("every shard now has a verified output; ready to merge");
+            } else {
+                println!("some shards are claimed by other workers; re-run to check on them");
+            }
+            Ok(())
+        }
+    }
 }
 
 fn shard_merge(args: &[String]) -> Result<(), String> {
@@ -306,7 +344,11 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
         Some("run") => sweep_run(&args[1..]),
         Some("ls") => sweep_ls(),
         Some("gc") => sweep_gc(&args[1..]),
-        _ => Err(format!("usage: dsmt sweep run|ls|gc ...\n\n{USAGE}")),
+        Some("compact") => sweep_compact(),
+        Some("migrate") => sweep_migrate(&args[1..]),
+        _ => Err(format!(
+            "usage: dsmt sweep run|ls|gc|compact|migrate ...\n\n{USAGE}"
+        )),
     }
 }
 
@@ -343,29 +385,71 @@ fn open_env_cache() -> Result<ResultCache, String> {
 
 fn sweep_ls() -> Result<(), String> {
     let cache = open_env_cache()?;
-    let entries = cache.entries();
-    let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    let segments = cache.segments();
+    let total: u64 = segments.iter().map(|e| e.bytes).sum();
     println!(
-        "cache: {} ({} entries, {} bytes)",
+        "store: {} ({} segments, {} records, {} bytes)",
         cache.dir().display(),
-        entries.len(),
+        segments.len(),
+        cache.record_count(),
         total
     );
     let now = std::time::SystemTime::now();
-    for e in &entries {
+    for e in &segments {
         let age = now
             .duration_since(e.modified)
             .map(|d| d.as_secs())
             .unwrap_or(0);
         println!(
-            "  {}  {:>8} bytes  last used {:>6}s ago",
-            e.key, e.bytes, age
+            "  {}  {:>8} bytes  {:>6} records  last used {:>6}s ago",
+            e.name, e.bytes, e.records, age
         );
     }
     if let Some(cap) = CacheMode::max_bytes_from_env() {
         let status = if total > cap { "OVER" } else { "within" };
         println!("cap: DSMT_SWEEP_CACHE_MAX_BYTES={cap} ({status} cap)");
     }
+    Ok(())
+}
+
+fn sweep_compact() -> Result<(), String> {
+    let cache = open_env_cache()?;
+    let outcome = cache.compact()?;
+    println!(
+        "compacted {}: {} segments ({} bytes) -> 1 segment ({} bytes), {} records",
+        cache.dir().display(),
+        outcome.segments_before,
+        outcome.bytes_before,
+        outcome.bytes_after,
+        outcome.records,
+    );
+    Ok(())
+}
+
+fn sweep_migrate(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["dir"])?;
+    let dir = match p.flag("dir") {
+        Some(d) => PathBuf::from(d),
+        None => match CacheMode::from_env() {
+            CacheMode::Disabled => {
+                return Err("the sweep cache is disabled (DSMT_SWEEP_CACHE=off); \
+                            pass --dir to migrate an explicit directory"
+                    .into())
+            }
+            CacheMode::Dir(dir) => dir,
+        },
+    };
+    let outcome = migrate_v2(&dir)?;
+    println!(
+        "migrated {}: {} entries re-encoded ({} skipped), {} bytes (v2 JSON) -> {} bytes \
+         (v3 store, {:.1}x smaller)",
+        dir.display(),
+        outcome.migrated,
+        outcome.skipped,
+        outcome.bytes_before,
+        outcome.bytes_after,
+        outcome.bytes_before as f64 / outcome.bytes_after.max(1) as f64,
+    );
     Ok(())
 }
 

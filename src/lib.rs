@@ -12,8 +12,12 @@
 //! * [`mem`] — the L1/L2/bus memory hierarchy model;
 //! * [`uarch`] — branch prediction, renaming, queues, functional units;
 //! * [`core`] — the cycle-accurate multithreaded decoupled processor;
+//! * [`store`] — the shared result-persistence layer (value codec,
+//!   checksummed content-addressed segments, lockfile claims);
 //! * [`sweep`] — the parallel scenario-sweep engine (grids, deterministic
-//!   seeding, result caching, JSON/CSV export);
+//!   seeding, store-backed result caching, JSON/CSV export);
+//! * [`shard`] — deterministic sweep sharding (manifests, `.dsr` files,
+//!   lockfile-claimed recovery, bit-exact merge);
 //! * [`experiments`] — the harness that regenerates every figure of the
 //!   paper on top of the sweep engine.
 //!
@@ -33,6 +37,8 @@ pub use dsmt_core as core;
 pub use dsmt_experiments as experiments;
 pub use dsmt_isa as isa;
 pub use dsmt_mem as mem;
+pub use dsmt_shard as shard;
+pub use dsmt_store as store;
 pub use dsmt_sweep as sweep;
 pub use dsmt_trace as trace;
 pub use dsmt_uarch as uarch;
