@@ -1,6 +1,6 @@
 //! Shared variable-length integer encoding (LEB128) for binary formats.
 //!
-//! The trace encoding in [`crate::encode`] keeps its fixed-width layout for
+//! The trace encoding (`encode.rs`) keeps its fixed-width layout for
 //! stability, but newer on-disk formats (the sweep crate's `.dsr` record
 //! files) pack counters with these helpers: a `u64` costs one byte per 7
 //! significant bits, so the small counts that dominate simulation results

@@ -1,11 +1,12 @@
 //! Runs one shard of a manifest and packages the result.
 
 use std::path::Path;
+use std::time::Duration;
 
-use dsmt_store::LockFile;
+use dsmt_store::Claim;
 use dsmt_sweep::{SweepEngine, SweepReport};
 
-use crate::{DsrFile, ShardManifest, ShardPlanError};
+use crate::{DsrFile, ShardManifest, ShardPlanError, Transport};
 
 /// The outcome of executing one shard: the partial report (with live cache
 /// telemetry) and its `.dsr` packaging (identity only, ready to ship).
@@ -77,12 +78,35 @@ pub enum ShardDisposition {
     Executed,
 }
 
-/// The outcome of a [`run_missing`] pass: one disposition per shard, in
-/// shard order.
+/// Options for a [`recover`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverOptions {
+    /// When set, a shard claim whose lockfile mtime is at least this old
+    /// is presumed dead (its holder was killed without unwinding) and is
+    /// stolen — see [`dsmt_store::LockFile::acquire_or_steal`]. Pick a
+    /// deadline comfortably longer than the longest honest shard runtime.
+    pub steal_after: Option<Duration>,
+}
+
+/// One stale claim a [`recover`] pass reaped: which shard, and the holder
+/// record of the dead worker (its pid and the claim's age).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealRecord {
+    /// The shard whose claim was stolen.
+    pub shard_index: usize,
+    /// Holder record of the reaped lockfile (e.g. `pid 1234 (97s old)`).
+    pub previous: String,
+}
+
+/// The outcome of a [`run_missing`]/[`recover`] pass: one disposition per
+/// shard, in shard order, plus a record of every stale claim stolen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MissingRun {
     /// Disposition per shard index.
     pub dispositions: Vec<ShardDisposition>,
+    /// Stale claims this pass reaped (always a subset of the `Executed`
+    /// shards; empty unless [`RecoverOptions::steal_after`] was set).
+    pub steals: Vec<StealRecord>,
 }
 
 impl MissingRun {
@@ -122,66 +146,101 @@ impl MissingRun {
 }
 
 /// Executes every shard of `manifest` that has no verified output under
-/// `dir` yet, claiming each through an `O_EXCL` lockfile in `dir/locks`
-/// first — the self-healing path for fleets: any number of recovery
-/// workers can run this concurrently (or after hosts died mid-run) and
-/// each missing shard is executed exactly once.
-///
-/// A shard output that exists but fails verification (truncated, corrupt,
-/// foreign grid) is treated as missing: it is re-run and atomically
-/// overwritten. Claims release when this pass finishes, so a worker that
-/// died *holding* a claim only blocks until its lockfile is removed —
-/// [`LockFile::holder`] names the owner for that call.
+/// `dir` yet (loose-`.dsr` transport, no claim stealing) — shorthand for
+/// [`recover`] over [`Transport::loose`] with default options, kept as
+/// the stable entry point for scripts and tests of the PR 3 protocol.
 ///
 /// # Errors
 ///
-/// Any manifest validation error; execution itself panics only for grid
-/// construction bugs, as [`run_shard`] does.
+/// As for [`recover`].
 pub fn run_missing(
     manifest: &ShardManifest,
     dir: impl AsRef<Path>,
     engine: &SweepEngine,
 ) -> Result<MissingRun, ShardPlanError> {
+    recover(
+        manifest,
+        &mut Transport::loose(dir.as_ref()),
+        engine,
+        &RecoverOptions::default(),
+    )
+}
+
+/// Executes every shard of `manifest` that has no verified output on
+/// `transport` yet, claiming each through an `O_EXCL` lockfile first —
+/// the self-healing path for fleets: any number of recovery workers can
+/// run this concurrently (or after hosts died mid-run) and each missing
+/// shard is executed exactly once.
+///
+/// A shard output that exists but fails verification (truncated, corrupt,
+/// foreign grid, evicted store segment) is treated as missing: it is
+/// re-run and atomically re-published. Claims release when this pass
+/// finishes; a worker that died *holding* a claim blocks the shard only
+/// until the claim expires — with [`RecoverOptions::steal_after`] set,
+/// a claim whose lockfile is older than the deadline is reaped (exactly
+/// one racing stealer wins) and the shard re-executed, with the dead
+/// holder named in [`MissingRun::steals`].
+///
+/// # Errors
+///
+/// Any manifest validation error, and a publish failure surfaces as
+/// [`ShardPlanError::BadPartition`]; execution itself panics only for
+/// grid construction bugs, as [`run_shard`] does.
+pub fn recover(
+    manifest: &ShardManifest,
+    transport: &mut Transport,
+    engine: &SweepEngine,
+    options: &RecoverOptions,
+) -> Result<MissingRun, ShardPlanError> {
     manifest.validate()?;
-    let dir = dir.as_ref();
-    let locks = dir.join("locks");
     let mut dispositions = Vec::with_capacity(manifest.num_shards());
+    let mut steals = Vec::new();
     for index in 0..manifest.num_shards() {
-        let name = shard_file_name(manifest, index);
-        let path = dir.join(&name);
-        if shard_output_ok(&path, manifest, index) {
+        if transport.read_verified(manifest, index).is_some() {
             dispositions.push(ShardDisposition::AlreadyDone);
             continue;
         }
-        let Ok(Some(_claim)) = LockFile::acquire(&locks, &name) else {
-            dispositions.push(ShardDisposition::ClaimedElsewhere);
-            continue;
+        let claim = match transport.claim(manifest, index, options.steal_after) {
+            Ok(claim) => claim,
+            // Claiming I/O trouble is indistinguishable from contention
+            // for this pass's purposes; leave the shard for a retry.
+            Err(_) => {
+                dispositions.push(ShardDisposition::ClaimedElsewhere);
+                continue;
+            }
+        };
+        let stolen_from = match &claim {
+            Claim::Acquired(_) => None,
+            Claim::Stolen { previous, .. } => Some(previous.clone()),
+            Claim::Held(_) => {
+                dispositions.push(ShardDisposition::ClaimedElsewhere);
+                continue;
+            }
         };
         // Double-check under the claim: another worker may have finished
         // between the probe and the acquire.
-        if shard_output_ok(&path, manifest, index) {
+        if transport.read_verified(manifest, index).is_some() {
             dispositions.push(ShardDisposition::AlreadyDone);
             continue;
         }
         let run = run_shard(manifest, index, engine)?;
-        run.dsr.write(&path).map_err(|e| {
+        transport.publish(manifest, &run.dsr).map_err(|e| {
             ShardPlanError::BadPartition(format!("cannot publish shard {index}: {e}"))
         })?;
-        dispositions.push(ShardDisposition::Executed);
-    }
-    Ok(MissingRun { dispositions })
-}
-
-/// Whether `path` holds a verified output for shard `index` of this plan.
-fn shard_output_ok(path: &Path, manifest: &ShardManifest, index: usize) -> bool {
-    match DsrFile::read(path) {
-        Ok(file) => {
-            file.grid == manifest.grid
-                && file.shard_index == index
-                && file.shard_count == manifest.num_shards()
+        if let Some(previous) = stolen_from {
+            steals.push(StealRecord {
+                shard_index: index,
+                previous,
+            });
         }
-        Err(_) => false,
+        dispositions.push(ShardDisposition::Executed);
+        // `claim` (and its lockfile) releases here, after the publish.
+        drop(claim);
     }
+    Ok(MissingRun {
+        dispositions,
+        steals,
+    })
 }
 
 #[cfg(test)]
@@ -189,6 +248,7 @@ mod tests {
     use super::*;
     use crate::{plan, ShardStrategy};
     use dsmt_core::SimConfig;
+    use dsmt_store::LockFile;
     use dsmt_sweep::{Axis, SweepGrid, WorkloadSpec};
 
     fn manifest() -> ShardManifest {
@@ -297,6 +357,143 @@ mod tests {
         let retry = run_missing(&m, &dir, &engine).expect("retry");
         assert_eq!(retry.executed(), vec![1]);
         assert!(retry.complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_over_the_store_transport_heals_missing_shards() {
+        let m = manifest();
+        let dir = temp_dir("store-recover");
+        let engine = SweepEngine::new(2).without_cache();
+        // Shard 0 published normally; 1 and 2 never ran.
+        let mut transport = crate::Transport::store(&dir).expect("store transport");
+        let run0 = run_shard(&m, 0, &engine).unwrap();
+        transport.publish(&m, &run0.dsr).expect("publish");
+
+        let outcome = recover(&m, &mut transport, &engine, &RecoverOptions::default())
+            .expect("recovery pass");
+        assert_eq!(outcome.already_done(), vec![0]);
+        assert_eq!(outcome.executed(), vec![1, 2]);
+        assert!(outcome.steals.is_empty());
+        assert!(outcome.complete());
+        // The store now merges bit-identically to a monolithic run.
+        let merged = crate::merge_from(&m, &mut transport).expect("merge");
+        let mono = engine.run(&m.grid);
+        assert_eq!(merged.records, mono.records);
+        assert_eq!(
+            DsrFile::from_report(&m.grid, &merged, 0, 1).encode(),
+            DsrFile::from_report(&m.grid, &mono, 0, 1).encode(),
+        );
+        // A second pass is a no-op, and all claims were released.
+        let again =
+            recover(&m, &mut transport, &engine, &RecoverOptions::default()).expect("idempotent");
+        assert_eq!(again.already_done(), vec![0, 1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_claims_are_reaped_and_reported_but_live_ones_respected() {
+        let m = manifest();
+        let dir = temp_dir("steal");
+        let engine = SweepEngine::new(1).without_cache();
+        let mut transport = crate::Transport::store(&dir).expect("store transport");
+        // A worker died without unwinding while holding shard 1: its claim
+        // file survives. Backdate it so it reads as 1h old.
+        let dead = LockFile::acquire(transport.locks_dir(), &m.claim_name(1))
+            .unwrap()
+            .expect("claim");
+        std::mem::forget(dead);
+        LockFile::backdate_for_tests(
+            transport.locks_dir(),
+            &m.claim_name(1),
+            Duration::from_secs(3600),
+        );
+
+        // Without --steal-after (or with a deadline the claim has not
+        // reached) the shard is left alone.
+        for options in [
+            RecoverOptions::default(),
+            RecoverOptions {
+                steal_after: Some(Duration::from_secs(7200)),
+            },
+        ] {
+            let outcome = recover(&m, &mut transport, &engine, &options).expect("pass");
+            assert_eq!(outcome.claimed_elsewhere(), vec![1], "{options:?}");
+            assert!(outcome.steals.is_empty());
+        }
+        // Past the deadline the claim is stolen and the shard recovered,
+        // with the dead holder named in the report.
+        let outcome = recover(
+            &m,
+            &mut transport,
+            &engine,
+            &RecoverOptions {
+                steal_after: Some(Duration::from_secs(60)),
+            },
+        )
+        .expect("stealing pass");
+        assert_eq!(outcome.executed(), vec![1]);
+        assert!(outcome.complete());
+        assert_eq!(outcome.steals.len(), 1);
+        assert_eq!(outcome.steals[0].shard_index, 1);
+        assert!(outcome.steals[0]
+            .previous
+            .contains(&std::process::id().to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eight_racing_recoverers_steal_a_dead_shard_exactly_once() {
+        // One dead-held shard, 8 concurrent `--steal-after` recoverers:
+        // exactly one may steal and execute it; the rest see the claim
+        // held or the output already published. Each thread uses its own
+        // transport handle, as separate worker processes would.
+        let grid = SweepGrid::new("steal-race", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::spec_mix(1_500))
+            .with_axis(Axis::l2_latencies(&[16]))
+            .with_budget(3_000);
+        let m = plan(&grid, 1, ShardStrategy::Contiguous).unwrap();
+        let dir = temp_dir("steal-race");
+        let setup = crate::Transport::store(&dir).expect("store transport");
+        let dead = LockFile::acquire(setup.locks_dir(), &m.claim_name(0))
+            .unwrap()
+            .expect("claim");
+        std::mem::forget(dead);
+        LockFile::backdate_for_tests(
+            setup.locks_dir(),
+            &m.claim_name(0),
+            Duration::from_secs(3600),
+        );
+
+        let barrier = std::sync::Barrier::new(8);
+        let outcomes: Vec<MissingRun> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let engine = SweepEngine::new(1).without_cache();
+                        let mut transport = crate::Transport::store(&dir).expect("transport");
+                        barrier.wait();
+                        recover(
+                            &m,
+                            &mut transport,
+                            &engine,
+                            &RecoverOptions {
+                                steal_after: Some(Duration::from_secs(60)),
+                            },
+                        )
+                        .expect("recover")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let executed: usize = outcomes.iter().map(|o| o.executed().len()).sum();
+        let stolen: usize = outcomes.iter().map(|o| o.steals.len()).sum();
+        assert_eq!(executed, 1, "the shard must be executed exactly once");
+        assert_eq!(stolen, 1, "exactly one recoverer may steal the claim");
+        // Whoever won, the output is now verified and merges.
+        let mut transport = crate::Transport::store(&dir).expect("transport");
+        assert!(transport.read_verified(&m, 0).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -23,19 +23,30 @@
 //!   canonical-varint rule make corruption and truncation detectable.
 //! * [`executor`] — [`run_shard`] executes one manifest shard against the
 //!   shared content-addressed result cache and packages the outcome as a
-//!   `.dsr` file.
-//! * [`merge`] — [`merge_shards`] reassembles shard outputs into a full
+//!   `.dsr` file; [`recover`] heals a fleet by claiming and re-running
+//!   every shard without a verified output, stealing claims whose holder
+//!   died ([`RecoverOptions::steal_after`]).
+//! * [`transport`] — where shard outputs travel: loose `.dsr` files
+//!   beside the plan, or published **into the result store** keyed by
+//!   `(grid content hash, shard index)` — one shared directory carrying
+//!   scenario cache and shard outputs alike, with checksums, atomic
+//!   publishes and LRU GC for free. [`Transport`] is the switch;
+//!   `dsmt shard status` reports done/claimed/missing per shard.
+//! * [`merge`] — [`merge_shards`] (and the transport-aware
+//!   [`merge_from`]) reassembles shard outputs into a full
 //!   [`SweepReport`](dsmt_sweep::SweepReport), detecting missing,
 //!   duplicate, foreign and incomplete shards. Merged records are in grid
 //!   order, so the merged `.dsr` is byte-identical to one produced by a
 //!   monolithic run.
 //!
-//! ## The multi-host workflow
+//! ## The multi-host workflow (store transport)
 //!
 //! ```text
 //! host 0:  dsmt shard plan demo --shards 4 --out plan.json
-//! host i:  dsmt shard run plan.json --index i --out-dir shards/
-//! host 0:  dsmt shard merge plan.json --dir shards/ --out report.json
+//! host i:  dsmt shard run plan.json --index i --store /mnt/fleet/store
+//! any:     dsmt shard status plan.json --store /mnt/fleet/store
+//! any:     dsmt shard run plan.json --missing --steal-after 600 --store /mnt/fleet/store
+//! host 0:  dsmt shard merge plan.json --store /mnt/fleet/store --out report.json
 //! ```
 //!
 //! ## Example (in-process)
@@ -59,19 +70,24 @@
 //! assert_eq!(merged.records, engine.run(&grid).records);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dsr;
 pub mod executor;
 pub mod merge;
 pub mod partition;
+pub mod transport;
 
 pub use dsr::{DsrError, DsrFile, DsrRecord, DSR_FORMAT_VERSION};
 pub use executor::{
-    run_missing, run_shard, shard_file_name, MissingRun, ShardDisposition, ShardRun,
+    recover, run_missing, run_shard, shard_file_name, MissingRun, RecoverOptions, ShardDisposition,
+    ShardRun, StealRecord,
 };
-pub use merge::{merge_shards, MergeError};
+pub use merge::{merge_from, merge_shards, MergeError};
 pub use partition::{
     grid_content_hash, plan, ShardManifest, ShardPlanError, ShardStrategy, MANIFEST_SCHEMA_VERSION,
+};
+pub use transport::{
+    ShardState, ShardStatus, ShardStore, StatusReport, Transport, SHARD_VALUE_SCHEMA,
 };

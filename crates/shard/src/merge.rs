@@ -2,7 +2,7 @@
 
 use dsmt_sweep::{RunRecord, SweepReport};
 
-use crate::{DsrError, DsrFile, ShardManifest, ShardPlanError};
+use crate::{DsrError, DsrFile, ShardManifest, ShardPlanError, Transport};
 
 /// Why a set of shard files could not be merged.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +22,18 @@ pub enum MergeError {
     DuplicateShard(usize),
     /// No file covers this shard index.
     MissingShard(usize),
+    /// An output for this shard exists on the transport but cannot be
+    /// used: a corrupt/truncated loose `.dsr` file (the decode error is
+    /// carried), or a store record that fails verification. Distinct from
+    /// [`MergeError::MissingShard`] so the operator repairs the right
+    /// thing — `--missing` re-runs both, but a corrupt file on disk is
+    /// worth knowing about.
+    UnusableShard {
+        /// The shard whose output is unusable.
+        shard_index: usize,
+        /// What is wrong with it.
+        why: String,
+    },
     /// A shard's records do not match its manifest cell assignment.
     CellMismatch {
         /// The offending shard.
@@ -41,6 +53,9 @@ impl std::fmt::Display for MergeError {
             }
             MergeError::DuplicateShard(i) => write!(f, "shard {i} supplied more than once"),
             MergeError::MissingShard(i) => write!(f, "shard {i} is missing"),
+            MergeError::UnusableShard { shard_index, why } => {
+                write!(f, "shard {shard_index} has an unusable output: {why}")
+            }
             MergeError::CellMismatch { shard_index, why } => {
                 write!(f, "shard {shard_index} cell coverage is wrong: {why}")
             }
@@ -157,6 +172,42 @@ pub fn merge_shards(
     })
 }
 
+/// Collects every shard of the plan from `transport` and merges them —
+/// the transport-aware face of [`merge_shards`]. Store transports refresh
+/// their handle first (via [`Transport::read_for_merge`]), so a merger
+/// can run the moment `dsmt shard status` reports the store complete.
+///
+/// Diagnostics stay precise: an absent shard reports
+/// [`MergeError::MissingShard`], while an output that *exists* but cannot
+/// be used (truncated or corrupt loose file, unverifiable store record)
+/// reports [`MergeError::UnusableShard`] carrying the reason. Either way,
+/// `dsmt shard run --missing` heals the shard for a retry.
+///
+/// # Errors
+///
+/// [`MergeError::MissingShard`]/[`MergeError::UnusableShard`] for any
+/// unavailable shard, plus everything [`merge_shards`] checks.
+pub fn merge_from(
+    manifest: &ShardManifest,
+    transport: &mut Transport,
+) -> Result<SweepReport, MergeError> {
+    manifest.validate()?;
+    let mut files = Vec::with_capacity(manifest.num_shards());
+    for index in 0..manifest.num_shards() {
+        match transport.read_for_merge(manifest, index) {
+            Ok(Some(file)) => files.push(file),
+            Ok(None) => return Err(MergeError::MissingShard(index)),
+            Err(why) => {
+                return Err(MergeError::UnusableShard {
+                    shard_index: index,
+                    why,
+                })
+            }
+        }
+    }
+    merge_shards(manifest, &files)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +279,43 @@ mod tests {
             merge_shards(&m, &short),
             Err(MergeError::CellMismatch { shard_index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn merge_from_reports_missing_and_unusable_shards_distinctly() {
+        let dir = std::env::temp_dir().join(format!("dsmt-merge-from-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = manifest();
+        let files = shard_files(&m);
+        let mut transport = Transport::loose(&dir);
+
+        // Nothing on disk: the first absent shard is named.
+        assert_eq!(
+            merge_from(&m, &mut transport),
+            Err(MergeError::MissingShard(0))
+        );
+        // Shards 0 and 2 published, shard 1 corrupt on disk: the corrupt
+        // file is reported as unusable (with its decode error), not as
+        // missing.
+        for file in [&files[0], &files[2]] {
+            transport.publish(&m, file).unwrap();
+        }
+        std::fs::write(dir.join(crate::shard_file_name(&m, 1)), b"junk").unwrap();
+        match merge_from(&m, &mut transport) {
+            Err(MergeError::UnusableShard {
+                shard_index: 1,
+                why,
+            }) => {
+                assert!(why.contains(".dsr"), "{why}");
+            }
+            other => panic!("expected UnusableShard for shard 1, got {other:?}"),
+        }
+        // Healed: the merge goes through.
+        transport.publish(&m, &files[1]).unwrap();
+        let merged = merge_from(&m, &mut transport).expect("merge");
+        assert_eq!(merged.records.len(), m.grid.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -131,6 +131,24 @@ pub struct ShardManifest {
 
 /// Splits `grid` into `num_shards` shards under `strategy`.
 ///
+/// # Example
+///
+/// ```
+/// use dsmt_core::SimConfig;
+/// use dsmt_shard::{plan, ShardStrategy};
+/// use dsmt_sweep::{Axis, SweepGrid, WorkloadSpec};
+///
+/// let grid = SweepGrid::new("doc", SimConfig::paper_multithreaded(1))
+///     .with_workload(WorkloadSpec::spec_mix(1_000))
+///     .with_axis(Axis::l2_latencies(&[1, 4, 16, 64]))
+///     .with_budget(2_000);
+/// let manifest = plan(&grid, 3, ShardStrategy::Strided).unwrap();
+/// assert_eq!(manifest.num_shards(), 3);
+/// // Strided: cell c goes to shard c % 3, and the partition is exact.
+/// assert_eq!(manifest.shards[0], vec![0, 3]);
+/// manifest.validate().unwrap();
+/// ```
+///
 /// # Errors
 ///
 /// [`ShardPlanError::EmptyGrid`] or [`ShardPlanError::ZeroShards`] on
@@ -181,6 +199,29 @@ impl ShardManifest {
     #[must_use]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The store key of shard `index`'s output under the store transport:
+    /// a [`dsmt_store::namespaced_key`] in the `shard-output` namespace
+    /// over `(grid hash, shard index, shard count)`. Two plans over
+    /// different grids (or different shard counts of one grid) can share a
+    /// store directory without their outputs colliding, and re-planning
+    /// the same grid the same way addresses the same outputs.
+    #[must_use]
+    pub fn shard_key(&self, index: usize) -> u64 {
+        dsmt_store::namespaced_key(
+            "shard-output",
+            &format!("{}:{}/{}", self.grid_hash, index, self.num_shards()),
+        )
+    }
+
+    /// The lockfile claim name guarding shard `index` under the store
+    /// transport. Scoped by grid hash and shard count, like
+    /// [`ShardManifest::shard_key`], so fleets working different plans out
+    /// of one store directory never false-share claims.
+    #[must_use]
+    pub fn claim_name(&self, index: usize) -> String {
+        format!("shard-{}-{index}-of-{}", self.grid_hash, self.num_shards())
     }
 
     /// Validates internal consistency: schema version, grid hash, and that

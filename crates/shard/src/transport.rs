@@ -1,0 +1,643 @@
+//! How shard outputs travel between hosts: loose `.dsr` files or the
+//! result store.
+//!
+//! The original (PR 3) protocol shipped each shard as a standalone `.dsr`
+//! file next to the plan — simple, but it left shard outputs outside the
+//! one layer that already knows how to share a directory safely. The
+//! **store transport** publishes each shard's records *into* a
+//! [`dsmt_store::Store`] instead, keyed by
+//! [`ShardManifest::shard_key`] (grid content hash + shard index + shard
+//! count, in the `shard-output` key namespace):
+//!
+//! * shard outputs inherit the store's checksummed segments, atomic
+//!   publishes, LRU GC and compaction for free (an evicted shard output is
+//!   simply re-run by the next `--missing` pass);
+//! * the whole fleet protocol reduces to **one store directory** — point
+//!   the transport at the same directory as `DSMT_SWEEP_CACHE` and
+//!   scenario results and shard outputs share segments, claims and GC;
+//! * the merger and `dsmt shard status` observe other hosts' publishes on
+//!   a live handle via [`dsmt_store::Store::refresh`].
+//!
+//! Both transports hang their recovery claims off the same [`LockFile`]
+//! protocol, so [`crate::recover`] (and `dsmt shard run --missing
+//! --steal-after`) works identically over either. The loose transport
+//! remains fully supported — existing fixtures, golden files and scripts
+//! keep working — and [`Transport`] is the one switch that selects
+//! between them.
+//!
+//! A shard output is stored as a [`Value`] tree (same codec as every other
+//! store record):
+//!
+//! ```text
+//! { "kind":        "shard-output",
+//!   "schema":      1,
+//!   "grid_hash":   "<16-hex grid content hash>",
+//!   "shard_index": i,
+//!   "shard_count": n,
+//!   "records":     [ { "cell": c, "results": <SimResults> }, ... ] }
+//! ```
+//!
+//! Reads verify `kind`/`schema`/`grid_hash`/`shard_index`/`shard_count`
+//! against the manifest before trusting a record, so a freak key collision
+//! (or a hand-copied foreign store) degrades to "shard missing", never to
+//! merging someone else's cells.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use dsmt_core::SimResults;
+use dsmt_store::{Claim, ClaimInfo, LockFile, Store};
+use dsmt_sweep::CACHE_SCHEMA_VERSION;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::{shard_file_name, DsrFile, DsrRecord, ShardManifest};
+
+/// Bumped on any change to the shard-output [`Value`] layout; readers
+/// treat other schemas as missing (re-run), never misread them.
+pub const SHARD_VALUE_SCHEMA: u64 = 1;
+
+/// A store opened for shard-output traffic.
+///
+/// Thin wrapper over [`Store`] fixing the client schema to the sweep
+/// cache's ([`CACHE_SCHEMA_VERSION`]) — deliberately, so one directory can
+/// serve as both the fleet's scenario cache and its shard transport.
+#[derive(Debug)]
+pub struct ShardStore {
+    store: Store,
+}
+
+impl ShardStore {
+    /// Opens (creating if needed) `dir` as a shard-output store.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for any [`Store::open`] failure (legacy v2
+    /// layout, schema mismatch, corrupt segment, I/O).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        Store::open(&dir, CACHE_SCHEMA_VERSION)
+            .map(|store| ShardStore { store })
+            .map_err(|e| format!("{}: {e}", dir.display()))
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// Picks up segments other workers published since open (or the last
+    /// refresh). Errors (e.g. a corrupt foreign segment) are reported on
+    /// stderr and otherwise ignored: the snapshot stays usable, and the
+    /// cost is re-running a shard, never a wrong merge.
+    pub fn refresh(&mut self) {
+        if let Err(e) = self.store.refresh() {
+            eprintln!("warning: shard store refresh failed: {e}");
+        }
+    }
+
+    /// Publishes one shard's output as a new segment (atomic, idempotent:
+    /// re-publishing identical records lands on the same content-addressed
+    /// file). Returns the segment file name.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on filesystem failure.
+    pub fn publish(&mut self, manifest: &ShardManifest, dsr: &DsrFile) -> Result<String, String> {
+        let key = manifest.shard_key(dsr.shard_index);
+        let value = shard_value(manifest, dsr);
+        let info = self
+            .store
+            .publish(vec![(key, value)])
+            .map_err(|e| e.to_string())?;
+        Ok(info.expect("non-empty batch").name)
+    }
+
+    /// The verified output of shard `index`, if the store holds one for
+    /// exactly this manifest. Reads the current snapshot; call
+    /// [`ShardStore::refresh`] first to observe other hosts' publishes.
+    #[must_use]
+    pub fn get(&self, manifest: &ShardManifest, index: usize) -> Option<DsrFile> {
+        shard_from_value(manifest, index, self.store.get(manifest.shard_key(index))?)
+    }
+
+    /// Like [`ShardStore::get`], but distinguishes "nothing under this
+    /// shard's key" (`Ok(None)`) from "a record exists but does not
+    /// verify as this plan's shard output" (`Err(why)`) — so a merger can
+    /// report a collision or foreign record instead of calling it absent.
+    ///
+    /// # Errors
+    ///
+    /// A description of why the stored record failed verification.
+    pub fn get_checked(
+        &self,
+        manifest: &ShardManifest,
+        index: usize,
+    ) -> Result<Option<DsrFile>, String> {
+        match self.store.get(manifest.shard_key(index)) {
+            None => Ok(None),
+            Some(value) => match shard_from_value(manifest, index, value) {
+                Some(file) => Ok(Some(file)),
+                None => Err(format!(
+                    "the store record under shard {index}'s key is not a verifiable \
+                     shard-output of this plan (foreign, malformed, or a key collision)"
+                )),
+            },
+        }
+    }
+
+    /// The directory recovery claims live in (`<store>/locks`).
+    #[must_use]
+    pub fn locks_dir(&self) -> PathBuf {
+        self.store.locks_dir()
+    }
+}
+
+/// Encodes a shard output as its store [`Value`] (see the module docs for
+/// the layout).
+fn shard_value(manifest: &ShardManifest, dsr: &DsrFile) -> Value {
+    Value::Object(vec![
+        ("kind".to_string(), Value::Str("shard-output".to_string())),
+        ("schema".to_string(), Value::U64(SHARD_VALUE_SCHEMA)),
+        (
+            "grid_hash".to_string(),
+            Value::Str(manifest.grid_hash.clone()),
+        ),
+        (
+            "shard_index".to_string(),
+            Value::U64(dsr.shard_index as u64),
+        ),
+        (
+            "shard_count".to_string(),
+            Value::U64(dsr.shard_count as u64),
+        ),
+        (
+            "records".to_string(),
+            Value::Array(
+                dsr.records
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("cell".to_string(), Value::U64(r.cell as u64)),
+                            ("results".to_string(), r.results.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a store value back into a [`DsrFile`], verifying it is the
+/// output of shard `index` of exactly this manifest. Any mismatch or
+/// malformation returns `None` — the shard then counts as missing and is
+/// re-run, which is always safe.
+fn shard_from_value(manifest: &ShardManifest, index: usize, value: &Value) -> Option<DsrFile> {
+    let kind = value.field("kind").ok()?.as_str().ok()?;
+    let schema = value.field("schema").ok()?.as_u64().ok()?;
+    let grid_hash = value.field("grid_hash").ok()?.as_str().ok()?;
+    let shard_index = value.field("shard_index").ok()?.as_u64().ok()?;
+    let shard_count = value.field("shard_count").ok()?.as_u64().ok()?;
+    if kind != "shard-output"
+        || schema != SHARD_VALUE_SCHEMA
+        || grid_hash != manifest.grid_hash
+        || shard_index != index as u64
+        || shard_count != manifest.num_shards() as u64
+    {
+        return None;
+    }
+    let Value::Array(entries) = value.field("records").ok()? else {
+        return None;
+    };
+    let records = entries
+        .iter()
+        .map(|entry| {
+            let cell = usize::try_from(entry.field("cell").ok()?.as_u64().ok()?).ok()?;
+            let results = SimResults::from_value(entry.field("results").ok()?).ok()?;
+            Some(DsrRecord { cell, results })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(DsrFile {
+        grid: manifest.grid.clone(),
+        shard_index: index,
+        shard_count: manifest.num_shards(),
+        records,
+    })
+}
+
+/// Where shard outputs live: the one switch between the legacy
+/// loose-`.dsr` protocol and the store transport. Executor, merger,
+/// status and recovery all work over either.
+#[derive(Debug)]
+pub enum Transport {
+    /// Standalone `.dsr` files named [`shard_file_name`] under a
+    /// directory, with recovery claims under `<dir>/locks` (the PR 3
+    /// protocol; golden fixtures and existing scripts use this).
+    Loose {
+        /// The output directory.
+        dir: PathBuf,
+    },
+    /// Shard outputs published into a [`ShardStore`].
+    Store(ShardStore),
+}
+
+impl Transport {
+    /// A loose-file transport rooted at `dir`.
+    #[must_use]
+    pub fn loose(dir: impl Into<PathBuf>) -> Self {
+        Transport::Loose { dir: dir.into() }
+    }
+
+    /// A store transport rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardStore::open`].
+    pub fn store(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        ShardStore::open(dir).map(Transport::Store)
+    }
+
+    /// One line describing the transport, for CLI output.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Transport::Loose { dir } => format!("loose .dsr files in {}", dir.display()),
+            Transport::Store(store) => format!("store at {}", store.dir().display()),
+        }
+    }
+
+    /// The directory recovery claims live in.
+    #[must_use]
+    pub fn locks_dir(&self) -> PathBuf {
+        match self {
+            Transport::Loose { dir } => dir.join("locks"),
+            Transport::Store(store) => store.locks_dir(),
+        }
+    }
+
+    /// The claim name guarding shard `index` on this transport. Loose mode
+    /// keeps the historical file-name claims; the store transport scopes
+    /// claims by grid hash so unrelated plans can share one directory.
+    #[must_use]
+    pub fn claim_name(&self, manifest: &ShardManifest, index: usize) -> String {
+        match self {
+            Transport::Loose { .. } => shard_file_name(manifest, index),
+            Transport::Store(_) => manifest.claim_name(index),
+        }
+    }
+
+    /// Tries to claim shard `index`, stealing a stale claim when
+    /// `steal_after` says so (see [`LockFile::acquire_or_steal`]).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the expected claim races.
+    pub fn claim(
+        &self,
+        manifest: &ShardManifest,
+        index: usize,
+        steal_after: Option<Duration>,
+    ) -> std::io::Result<Claim> {
+        LockFile::acquire_or_steal(
+            self.locks_dir(),
+            &self.claim_name(manifest, index),
+            steal_after,
+        )
+    }
+
+    /// The verified output of shard `index`, or `None` when it is absent,
+    /// corrupt, or belongs to a different plan. Store transports refresh
+    /// first, so publishes by other live workers are observed.
+    #[must_use]
+    pub fn read_verified(&mut self, manifest: &ShardManifest, index: usize) -> Option<DsrFile> {
+        match self {
+            Transport::Loose { dir } => {
+                let path = dir.join(shard_file_name(manifest, index));
+                let file = DsrFile::read(path).ok()?;
+                (file.grid == manifest.grid
+                    && file.shard_index == index
+                    && file.shard_count == manifest.num_shards())
+                .then_some(file)
+            }
+            Transport::Store(store) => {
+                store.refresh();
+                store.get(manifest, index)
+            }
+        }
+    }
+
+    /// Reads shard `index` for a merge, preserving precise diagnostics
+    /// instead of [`Transport::read_verified`]'s everything-is-missing
+    /// collapse: an absent output is `Ok(None)`; a loose file that exists
+    /// but fails to decode keeps its [`crate::DsrError`] text (checksum
+    /// mismatch, truncation, version skew); an unverifiable store record
+    /// explains itself. Provenance checks (foreign grid, wrong shard
+    /// count) are left to `merge_shards`, which reports them per shard.
+    ///
+    /// # Errors
+    ///
+    /// Why a *present* output could not be used.
+    pub fn read_for_merge(
+        &mut self,
+        manifest: &ShardManifest,
+        index: usize,
+    ) -> Result<Option<DsrFile>, String> {
+        match self {
+            Transport::Loose { dir } => {
+                let path = dir.join(shard_file_name(manifest, index));
+                if !path.exists() {
+                    return Ok(None);
+                }
+                DsrFile::read(&path)
+                    .map(Some)
+                    .map_err(|e| format!("{}: {e}", path.display()))
+            }
+            Transport::Store(store) => {
+                store.refresh();
+                store.get_checked(manifest, index)
+            }
+        }
+    }
+
+    /// Publishes one shard's output (atomically, on either transport).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on filesystem failure.
+    pub fn publish(&mut self, manifest: &ShardManifest, dsr: &DsrFile) -> Result<(), String> {
+        match self {
+            Transport::Loose { dir } => {
+                let path = dir.join(shard_file_name(manifest, dsr.shard_index));
+                dsr.write(path).map_err(|e| e.to_string())
+            }
+            Transport::Store(store) => store.publish(manifest, dsr).map(|_| ()),
+        }
+    }
+
+    /// One status probe over every shard of the plan: done / claimed (by
+    /// whom, how long ago) / missing. Store transports refresh first, so a
+    /// polling watcher sees the store fill up live.
+    #[must_use]
+    pub fn status(&mut self, manifest: &ShardManifest) -> StatusReport {
+        let shards = (0..manifest.num_shards())
+            .map(|index| {
+                let state = match self.read_verified(manifest, index) {
+                    Some(file) => ShardState::Done {
+                        records: file.records.len(),
+                    },
+                    None => {
+                        match LockFile::inspect(self.locks_dir(), &self.claim_name(manifest, index))
+                        {
+                            Some(info) => ShardState::Claimed(info),
+                            None => ShardState::Missing,
+                        }
+                    }
+                };
+                ShardStatus { index, state }
+            })
+            .collect();
+        StatusReport { shards }
+    }
+}
+
+/// What one shard looks like from the outside right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// A verified output exists.
+    Done {
+        /// Records the output holds.
+        records: usize,
+    },
+    /// No verified output, but a worker holds the recovery claim.
+    Claimed(ClaimInfo),
+    /// No output, no claim: nobody is working on this shard.
+    Missing,
+}
+
+/// One shard's [`ShardState`], tagged with its index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard index.
+    pub index: usize,
+    /// Its observed state.
+    pub state: ShardState,
+}
+
+/// A point-in-time fleet status: one [`ShardStatus`] per shard, in shard
+/// order (what `dsmt shard status` prints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Per-shard states.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl StatusReport {
+    /// Shards with verified outputs.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.count(|s| matches!(s, ShardState::Done { .. }))
+    }
+
+    /// Shards currently claimed by some worker.
+    #[must_use]
+    pub fn claimed(&self) -> usize {
+        self.count(|s| matches!(s, ShardState::Claimed(_)))
+    }
+
+    /// Shards with neither output nor claim.
+    #[must_use]
+    pub fn missing(&self) -> usize {
+        self.count(|s| matches!(s, ShardState::Missing))
+    }
+
+    /// Whether every shard has a verified output (ready to merge).
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.done() == self.shards.len()
+    }
+
+    fn count(&self, want: impl Fn(&ShardState) -> bool) -> usize {
+        self.shards.iter().filter(|s| want(&s.state)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plan, run_shard, ShardStrategy};
+    use dsmt_core::SimConfig;
+    use dsmt_sweep::{Axis, SweepEngine, SweepGrid, WorkloadSpec};
+
+    fn manifest() -> ShardManifest {
+        let grid = SweepGrid::new("transport", SimConfig::paper_multithreaded(1))
+            .with_workload(WorkloadSpec::spec_mix(1_500))
+            .with_axis(Axis::l2_latencies(&[1, 16, 64]))
+            .with_budget(4_000);
+        plan(&grid, 2, ShardStrategy::Contiguous).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dsmt-transport-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_keys_and_claims_are_scoped_by_plan() {
+        let m = manifest();
+        assert_ne!(m.shard_key(0), m.shard_key(1));
+        let mut other = m.clone();
+        other.grid.seed += 1;
+        other.grid_hash = format!("{:016x}", crate::grid_content_hash(&other.grid));
+        assert_ne!(m.shard_key(0), other.shard_key(0), "different grids");
+        assert_ne!(m.claim_name(0), other.claim_name(0));
+        assert_ne!(m.claim_name(0), m.claim_name(1));
+    }
+
+    #[test]
+    fn store_round_trips_shard_outputs_exactly() {
+        let dir = temp_dir("roundtrip");
+        let m = manifest();
+        let engine = SweepEngine::new(1).without_cache();
+        let run = run_shard(&m, 0, &engine).unwrap();
+
+        let mut store = ShardStore::open(&dir).expect("open");
+        assert!(store.get(&m, 0).is_none());
+        store.publish(&m, &run.dsr).expect("publish");
+        let back = store.get(&m, 0).expect("stored shard");
+        assert_eq!(back, run.dsr);
+        // Byte-exact once packaged: the store transport preserves the
+        // subsystem's bit-identity guarantee.
+        assert_eq!(back.encode(), run.dsr.encode());
+        // Shard 1 is still missing; a foreign manifest sees nothing.
+        assert!(store.get(&m, 1).is_none());
+        let mut foreign = m.clone();
+        foreign.grid.seed += 1;
+        foreign.grid_hash = format!("{:016x}", crate::grid_content_hash(&foreign.grid));
+        assert!(store.get(&foreign, 0).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publishes_are_idempotent_and_visible_via_refresh() {
+        let dir = temp_dir("refresh");
+        let m = manifest();
+        let engine = SweepEngine::new(1).without_cache();
+        let run = run_shard(&m, 1, &engine).unwrap();
+
+        let mut writer = ShardStore::open(&dir).expect("open writer");
+        let mut reader = ShardStore::open(&dir).expect("open reader");
+        let a = writer.publish(&m, &run.dsr).expect("publish");
+        let b = writer.publish(&m, &run.dsr).expect("republish");
+        assert_eq!(a, b, "identical outputs collapse to one segment");
+        // The reader's snapshot predates the publish; refresh catches up.
+        assert!(reader.get(&m, 1).is_none());
+        reader.refresh();
+        assert_eq!(reader.get(&m, 1).expect("refreshed"), run.dsr);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transports_publish_and_read_back_verified_outputs() {
+        let m = manifest();
+        let engine = SweepEngine::new(1).without_cache();
+        let run = run_shard(&m, 0, &engine).unwrap();
+        let loose_dir = temp_dir("loose");
+        let store_dir = temp_dir("store");
+        let mut loose = Transport::loose(&loose_dir);
+        let mut store = Transport::store(&store_dir).expect("store transport");
+        for transport in [&mut loose, &mut store] {
+            assert!(transport.read_verified(&m, 0).is_none());
+            transport.publish(&m, &run.dsr).expect("publish");
+            assert_eq!(transport.read_verified(&m, 0).expect("verified"), run.dsr);
+            assert!(transport.read_verified(&m, 1).is_none());
+        }
+        // The loose transport wrote the conventional file; a corrupt file
+        // reads as missing, not as an error.
+        let path = loose_dir.join(shard_file_name(&m, 0));
+        assert!(path.is_file());
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(loose.read_verified(&m, 0).is_none());
+        let _ = std::fs::remove_dir_all(&loose_dir);
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    #[test]
+    fn get_checked_distinguishes_absent_from_unverifiable() {
+        let dir = temp_dir("checked");
+        let m = manifest();
+        let mut store = ShardStore::open(&dir).expect("open");
+        // Nothing at all under shard 1's key: absent.
+        assert_eq!(store.get_checked(&m, 1), Ok(None));
+        // A foreign record squatting on shard 0's key (what a key
+        // collision or a hand-copied store would look like): reported,
+        // not silently "missing".
+        store
+            .store
+            .publish(vec![(m.shard_key(0), Value::U64(42))])
+            .unwrap();
+        assert!(store.get_checked(&m, 0).is_err());
+        assert!(
+            store.get(&m, 0).is_none(),
+            "read_verified still treats it as missing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_for_merge_keeps_corrupt_file_diagnostics() {
+        let dir = temp_dir("merge-diag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = manifest();
+        let mut loose = Transport::loose(&dir);
+        // Absent: Ok(None).
+        assert_eq!(loose.read_for_merge(&m, 0), Ok(None));
+        // Present but truncated: the decode error (with the path) survives.
+        let path = dir.join(shard_file_name(&m, 0));
+        std::fs::write(&path, b"garbage").unwrap();
+        let why = loose.read_for_merge(&m, 0).expect_err("corrupt file");
+        assert!(why.contains(path.to_str().unwrap()), "{why}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_reports_done_claimed_missing() {
+        let dir = temp_dir("status");
+        let m = manifest();
+        let engine = SweepEngine::new(1).without_cache();
+        let mut transport = Transport::store(&dir).expect("store transport");
+
+        // Nothing yet: everything missing.
+        let empty = transport.status(&m);
+        assert_eq!((empty.done(), empty.claimed(), empty.missing()), (0, 0, 2));
+        assert!(!empty.complete());
+
+        // Shard 0 done, shard 1 claimed by a (simulated) worker.
+        let run = run_shard(&m, 0, &engine).unwrap();
+        transport.publish(&m, &run.dsr).expect("publish");
+        let held = transport.claim(&m, 1, None).expect("claim io");
+        assert!(held.lock().is_some());
+        let report = transport.status(&m);
+        assert_eq!(
+            (report.done(), report.claimed(), report.missing()),
+            (1, 1, 0)
+        );
+        match &report.shards[0].state {
+            ShardState::Done { records } => assert_eq!(*records, m.shards[0].len()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        match &report.shards[1].state {
+            ShardState::Claimed(info) => {
+                assert!(info.holder.contains(&std::process::id().to_string()));
+            }
+            other => panic!("expected Claimed, got {other:?}"),
+        }
+        drop(held);
+
+        // Claim released without an output: back to missing.
+        let after = transport.status(&m);
+        assert_eq!((after.done(), after.claimed(), after.missing()), (1, 0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,7 +4,10 @@
 //! criterion.
 
 use dsmt_core::SimConfig;
-use dsmt_shard::{merge_shards, plan, run_shard, DsrFile, ShardManifest, ShardStrategy};
+use dsmt_shard::{
+    merge_from, merge_shards, plan, recover, run_shard, DsrFile, MergeError, RecoverOptions,
+    ShardManifest, ShardStrategy, Transport,
+};
 use dsmt_sweep::{Axis, SweepEngine, SweepGrid, WorkloadSpec};
 
 fn grid() -> SweepGrid {
@@ -100,6 +103,85 @@ fn shards_share_and_dedup_the_result_cache() {
     assert_eq!(mono.cache_hits, grid.len());
 
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The store transport end-to-end, sharing **one** directory between the
+/// sweep cache and the shard outputs (the one-directory fleet protocol):
+/// shards publish into the store, the merger reads them back out via
+/// refresh on a live handle, and the merged `.dsr` is byte-identical to a
+/// monolithic run's.
+#[test]
+fn store_transport_merges_bit_identical_from_one_shared_directory() {
+    let dir = temp_dir("store-transport");
+    let grid = grid();
+    let manifest = plan(&grid, 3, ShardStrategy::Strided).expect("plan");
+
+    // Workers simulate through the store-as-cache AND publish their shard
+    // outputs into the same store directory.
+    let engine = SweepEngine::new(2).with_cache_dir(&dir);
+    // The merger's handle is opened *before* any worker publishes:
+    // read_verified refreshes, so it still observes everything.
+    let mut merger = Transport::store(&dir).expect("merger transport");
+    for index in [2, 0, 1] {
+        let run = run_shard(&manifest, index, &engine).expect("shard run");
+        let mut worker = Transport::store(&dir).expect("worker transport");
+        worker.publish(&manifest, &run.dsr).expect("publish");
+    }
+
+    let merged = merge_from(&manifest, &mut merger).expect("merge from store");
+    let mono = SweepEngine::new(1).without_cache().run(&grid);
+    assert_eq!(merged.records, mono.records);
+    assert_eq!(
+        DsrFile::from_report(&grid, &merged, 0, 1).encode(),
+        DsrFile::from_report(&grid, &mono, 0, 1).encode(),
+        "store-transport merge must stay byte-identical to monolithic"
+    );
+
+    // The same directory still answers as a sweep cache: a monolithic run
+    // over it simulates nothing (scenario records and shard outputs
+    // coexist under disjoint key namespaces).
+    let warm = engine.run(&grid);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.cache_hits, grid.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Self-healing over the store transport: a partially-run fleet is
+/// completed by `recover`, and a merge before completion names the first
+/// missing shard.
+#[test]
+fn store_transport_recovery_completes_a_partial_fleet() {
+    let dir = temp_dir("store-recover");
+    let grid = grid();
+    let manifest = plan(&grid, 4, ShardStrategy::Contiguous).expect("plan");
+    let engine = SweepEngine::new(2).with_cache_dir(&dir);
+
+    let mut transport = Transport::store(&dir).expect("transport");
+    let run = run_shard(&manifest, 1, &engine).expect("shard run");
+    transport.publish(&manifest, &run.dsr).expect("publish");
+
+    assert_eq!(
+        merge_from(&manifest, &mut transport),
+        Err(MergeError::MissingShard(0)),
+        "merging a partial store names the missing shard"
+    );
+    let status = transport.status(&manifest);
+    assert_eq!((status.done(), status.missing()), (1, 3));
+
+    let outcome = recover(
+        &manifest,
+        &mut transport,
+        &engine,
+        &RecoverOptions::default(),
+    )
+    .expect("recover");
+    assert_eq!(outcome.executed(), vec![0, 2, 3]);
+    assert!(transport.status(&manifest).complete());
+
+    let merged = merge_from(&manifest, &mut transport).expect("merge");
+    let mono = SweepEngine::new(1).without_cache().run(&grid);
+    assert_eq!(merged.records, mono.records);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The full file-based workflow the CLI drives: manifest and `.dsr` files

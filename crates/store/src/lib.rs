@@ -23,15 +23,21 @@
 //! * [`lock`] — `O_EXCL` **lockfile claims** ([`LockFile`]) and the
 //!   [`atomic_write`] publish helper. Any number of workers can race to
 //!   claim a unit of work (a shard, a migration) and exactly one wins;
-//!   everything published lands via temp-file + rename.
+//!   everything published lands via temp-file + rename. Claims whose
+//!   holder died without unwinding can be reaped after a deadline with
+//!   [`LockFile::acquire_or_steal`] — the self-healing half of the fleet
+//!   protocol.
 //!
 //! The crate is deliberately generic: it stores [`Value`] trees keyed by
 //! `u64`, and knows nothing about scenarios, grids or simulators. The sweep
-//! cache and the shard executor layer their schemas on top.
+//! cache and the shard transport layer their schemas on top — and they can
+//! share **one** store directory, each deriving its keys from a disjoint
+//! [`namespaced_key`] namespace (a byte-level spec of everything this
+//! crate persists lives in `docs/ARCHITECTURE.md` at the workspace root).
 //!
 //! [`Value`]: serde::Value
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
@@ -40,7 +46,7 @@ pub mod segment;
 pub mod store;
 
 pub use codec::{get_raw_str, get_value, put_value, CodecError, StrTable};
-pub use lock::{atomic_write, LockFile};
+pub use lock::{atomic_write, Claim, ClaimInfo, LockFile};
 pub use segment::{Segment, SEGMENT_FORMAT_VERSION};
 pub use store::{is_v2_entry_name, CompactOutcome, GcOutcome, SegmentInfo, Store, StoreError};
 
@@ -56,6 +62,20 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Derives a store key inside a named keyspace: `fnv1a64("{ns}:{ident}")`.
+///
+/// The store's key space is one flat `u64`, so clients that share a
+/// directory keep out of each other's way by convention: each picks a
+/// distinct namespace string and derives every key through this function
+/// (the sweep cache predates the convention and keys raw scenario hashes;
+/// the shard transport uses the `shard-output` namespace). A freak 64-bit
+/// collision across namespaces is survivable because every client
+/// re-verifies the shape/identity recorded *inside* its values on read.
+#[must_use]
+pub fn namespaced_key(namespace: &str, ident: &str) -> u64 {
+    fnv1a64(format!("{namespace}:{ident}").as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +87,12 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn namespaced_keys_separate_namespaces() {
+        assert_eq!(namespaced_key("a", "x"), fnv1a64(b"a:x"));
+        assert_ne!(namespaced_key("a", "x"), namespaced_key("b", "x"));
+        assert_ne!(namespaced_key("a", "x"), namespaced_key("a", "y"));
     }
 }

@@ -1,6 +1,8 @@
-//! Concurrent-writer safety: `O_EXCL` lockfile claims and atomic publishes.
+//! Concurrent-writer safety: `O_EXCL` lockfile claims, stale-claim
+//! stealing, and atomic publishes.
 
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// Writes `bytes` to `path` atomically: a temp file in the same directory
 /// (so the rename cannot cross filesystems) is written first, then renamed
@@ -43,10 +45,102 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
 ///
 /// A claimant that dies without unwinding (SIGKILL, power loss) leaves the
 /// lockfile behind; [`LockFile::acquire`] reports the holder recorded in
-/// the file so an operator can decide whether the claim is stale.
+/// the file so an operator can decide whether the claim is stale, and
+/// [`LockFile::acquire_or_steal`] automates that decision: a claim whose
+/// lockfile mtime is older than a caller-chosen deadline is reaped and
+/// re-claimed, with exactly one of any number of racing stealers winning.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_store::LockFile;
+/// let dir = std::env::temp_dir().join(format!("lock-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let claim = LockFile::acquire(&dir, "shard-0").unwrap().expect("free");
+/// // A second claimant loses while the guard lives...
+/// assert!(LockFile::acquire(&dir, "shard-0").unwrap().is_none());
+/// drop(claim);
+/// // ...and wins after it drops.
+/// assert!(LockFile::acquire(&dir, "shard-0").unwrap().is_some());
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
 #[derive(Debug)]
 pub struct LockFile {
     path: PathBuf,
+    /// The `token <hex>` line this guard wrote into its lockfile. Release
+    /// re-reads the file and only unlinks when the token still matches:
+    /// a guard whose claim was *stolen* (its lockfile reaped and the name
+    /// re-claimed by someone else) must not delete the new holder's live
+    /// lockfile.
+    token_line: String,
+}
+
+/// What an existing claim looks like from the outside: the holder record
+/// written into the lockfile and the lockfile's age (mtime distance), the
+/// two inputs of every staleness decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimInfo {
+    /// The holder record (`pid <n>` as written by [`LockFile::acquire`],
+    /// or `unknown holder` when the file was empty or unreadable).
+    pub holder: String,
+    /// Seconds since the lockfile was last modified, when measurable.
+    pub age: Option<Duration>,
+}
+
+impl ClaimInfo {
+    /// Renders `holder (<age>s old)` for reports and log lines.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.age {
+            Some(age) => format!("{} ({}s old)", self.holder, age.as_secs()),
+            None => self.holder.clone(),
+        }
+    }
+}
+
+/// The outcome of [`LockFile::acquire_or_steal`].
+#[derive(Debug)]
+pub enum Claim {
+    /// The name was free; the claim is ours.
+    Acquired(LockFile),
+    /// A stale claim was reaped and the name re-claimed; `previous` is the
+    /// holder record of the dead claimant, for the caller's report.
+    Stolen {
+        /// The freshly acquired claim.
+        lock: LockFile,
+        /// Holder record of the reaped lockfile.
+        previous: String,
+    },
+    /// Another claimant holds the name (and is younger than the steal
+    /// deadline, or no deadline was given).
+    Held(Option<ClaimInfo>),
+}
+
+impl Claim {
+    /// The guard, if this attempt ended up holding the claim.
+    #[must_use]
+    pub fn lock(&self) -> Option<&LockFile> {
+        match self {
+            Claim::Acquired(lock) | Claim::Stolen { lock, .. } => Some(lock),
+            Claim::Held(_) => None,
+        }
+    }
+}
+
+/// Distinguishes concurrent claims and steal tombstones within one
+/// process (across processes the pid does).
+static LOCK_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A token unique across processes and across acquires within a process:
+/// pid, a per-process counter, and a wall-clock component (guards pid
+/// reuse after reboots/exits).
+fn fresh_token() -> String {
+    let nonce = LOCK_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{:x}-{nonce:x}-{nanos:x}", std::process::id())
 }
 
 impl LockFile {
@@ -67,11 +161,15 @@ impl LockFile {
             .open(&path)
         {
             Ok(file) => {
-                // Best-effort holder record for stale-lock diagnostics.
+                // Best-effort holder record: line 1 identifies the holder
+                // for diagnostics, line 2 carries the ownership token the
+                // release check verifies.
                 use std::io::Write;
                 let mut file = file;
+                let token_line = format!("token {}", fresh_token());
                 let _ = writeln!(file, "pid {}", std::process::id());
-                Ok(Some(LockFile { path }))
+                let _ = writeln!(file, "{token_line}");
+                Ok(Some(LockFile { path, token_line }))
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
             Err(e) => Err(e),
@@ -86,19 +184,160 @@ impl LockFile {
 
     /// The recorded holder of an existing lock on `name`, if any — for
     /// "who has this claim?" diagnostics when [`LockFile::acquire`]
-    /// returns `None`.
+    /// returns `None`. Only the holder line is returned; the ownership
+    /// token stays an implementation detail.
     #[must_use]
     pub fn holder(dir: impl AsRef<Path>, name: &str) -> Option<String> {
         let path = dir.as_ref().join(format!("{name}.lock"));
         std::fs::read_to_string(path)
             .ok()
-            .map(|s| s.trim().to_string())
+            .map(|s| s.lines().next().unwrap_or("").trim().to_string())
+    }
+
+    /// Holder record and age of an existing claim on `name`, if any — the
+    /// inputs to a staleness decision, and what `dsmt shard status` prints
+    /// for claimed shards.
+    #[must_use]
+    pub fn inspect(dir: impl AsRef<Path>, name: &str) -> Option<ClaimInfo> {
+        let path = dir.as_ref().join(format!("{name}.lock"));
+        let holder = std::fs::read_to_string(&path)
+            .ok()?
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        let holder = if holder.is_empty() {
+            "unknown holder".to_string()
+        } else {
+            holder
+        };
+        let age = std::fs::metadata(&path)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| SystemTime::now().duration_since(t).ok());
+        Some(ClaimInfo { holder, age })
+    }
+
+    /// Like [`LockFile::acquire`], but with self-healing: when the name is
+    /// held by a lockfile whose mtime is at least `steal_after` old, the
+    /// claim is presumed dead (its holder exited without unwinding — the
+    /// `Drop` release never ran) and is **stolen**: the stale file is
+    /// atomically renamed aside, so exactly one of any number of racing
+    /// stealers reaps it, and the name is then re-claimed under the normal
+    /// `O_EXCL` rules.
+    ///
+    /// With `steal_after = None` this never steals and is equivalent to
+    /// [`LockFile::acquire`] plus a [`ClaimInfo`] on the held path.
+    ///
+    /// Pick a deadline comfortably longer than the longest legitimate hold
+    /// of the claim: a claim is "stale" purely by lockfile age, so a
+    /// deadline shorter than honest work invites double execution. As a
+    /// belt-and-braces guard against the tiny stat-to-rename race, a
+    /// reaped file whose mtime turns out to be fresh is put back (or
+    /// dropped if the name was re-claimed meanwhile) and the attempt
+    /// reports [`Claim::Held`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the expected already-exists /
+    /// already-reaped races.
+    pub fn acquire_or_steal(
+        dir: impl AsRef<Path>,
+        name: &str,
+        steal_after: Option<Duration>,
+    ) -> std::io::Result<Claim> {
+        let dir = dir.as_ref();
+        if let Some(lock) = Self::acquire(dir, name)? {
+            return Ok(Claim::Acquired(lock));
+        }
+        let Some(deadline) = steal_after else {
+            return Ok(Claim::Held(Self::inspect(dir, name)));
+        };
+        let path = dir.join(format!("{name}.lock"));
+        let age = match std::fs::metadata(&path) {
+            Ok(meta) => meta
+                .modified()
+                .ok()
+                .and_then(|t| SystemTime::now().duration_since(t).ok()),
+            // Released between the acquire and the stat: race for it again.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(match Self::acquire(dir, name)? {
+                    Some(lock) => Claim::Acquired(lock),
+                    None => Claim::Held(Self::inspect(dir, name)),
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if age.is_none_or(|age| age < deadline) {
+            return Ok(Claim::Held(Self::inspect(dir, name)));
+        }
+        let previous = Self::inspect(dir, name)
+            .map(|i| i.describe())
+            .unwrap_or_else(|| "unknown holder".to_string());
+        // Reap via rename: of N racing stealers, exactly one moves the
+        // stale file aside; the rest see NotFound and fall through to the
+        // plain O_EXCL race below.
+        let nonce = LOCK_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tomb = dir.join(format!(
+            ".{name}.lock.stale.{}.{nonce:x}",
+            std::process::id()
+        ));
+        match std::fs::rename(&path, &tomb) {
+            Ok(()) => {
+                // Re-verify: if the reaped file's mtime is fresh, a new
+                // claimant slipped in between the stat and the rename and
+                // we yanked a *live* claim. Put it back via hard_link
+                // (atomic create-if-absent; a plain rename could clobber
+                // an even newer claim) and report the name as held.
+                let fresh = std::fs::metadata(&tomb)
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| SystemTime::now().duration_since(t).ok())
+                    .is_none_or(|age| age < deadline);
+                if fresh {
+                    let _ = std::fs::hard_link(&tomb, &path);
+                    let _ = std::fs::remove_file(&tomb);
+                    return Ok(Claim::Held(Self::inspect(dir, name)));
+                }
+                let _ = std::fs::remove_file(&tomb);
+            }
+            // Another stealer reaped it first; the name may be free now.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(match Self::acquire(dir, name)? {
+            Some(lock) => Claim::Stolen { lock, previous },
+            None => Claim::Held(Self::inspect(dir, name)),
+        })
+    }
+
+    /// Backdates the lockfile of an existing claim on `name` so that an
+    /// [`LockFile::acquire_or_steal`] with a deadline of `age` or less will
+    /// treat it as stale. Test-support only: simulating a worker that died
+    /// holding a claim without actually killing a process.
+    #[doc(hidden)]
+    pub fn backdate_for_tests(dir: impl AsRef<Path>, name: &str, age: Duration) {
+        let path = dir.as_ref().join(format!("{name}.lock"));
+        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+            let _ = f.set_modified(SystemTime::now() - age);
+        }
     }
 }
 
 impl Drop for LockFile {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // Release only what we still own: after a steal, the displaced
+        // holder's guard points at a path now occupied by the stealer's
+        // lockfile, and unlinking it would silently collapse the mutual
+        // exclusion for every later claimant. The token check shrinks
+        // that hazard from "the rest of the displaced worker's runtime"
+        // to the microseconds between read and unlink.
+        let ours = std::fs::read_to_string(&self.path)
+            .is_ok_and(|s| s.lines().any(|line| line.trim() == self.token_line));
+        if ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -142,6 +381,118 @@ mod tests {
         assert!(holder.contains(&std::process::id().to_string()));
         drop(first);
         assert!(LockFile::acquire(&dir, "shard-0").expect("io").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_holder_claims_are_stolen_after_the_deadline() {
+        let dir = temp_dir("steal");
+        // Simulate a worker that died without unwinding: take the claim and
+        // leak the guard, so the Drop release never runs.
+        let dead = LockFile::acquire(&dir, "shard-3").unwrap().expect("claim");
+        std::mem::forget(dead);
+        LockFile::backdate_for_tests(&dir, "shard-3", Duration::from_secs(3600));
+
+        // Under the deadline the claim still reads as held...
+        match LockFile::acquire_or_steal(&dir, "shard-3", Some(Duration::from_secs(7200))).unwrap()
+        {
+            Claim::Held(Some(info)) => {
+                assert!(info.holder.contains(&std::process::id().to_string()));
+                assert!(info.age.expect("age measurable") >= Duration::from_secs(3600));
+                assert!(info.describe().contains("s old"), "{}", info.describe());
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        // ...past the deadline it is reaped, naming the dead holder.
+        match LockFile::acquire_or_steal(&dir, "shard-3", Some(Duration::from_secs(60))).unwrap() {
+            Claim::Stolen { lock, previous } => {
+                assert!(previous.contains(&std::process::id().to_string()));
+                drop(lock);
+            }
+            other => panic!("expected Stolen, got {other:?}"),
+        }
+        // The steal released cleanly: the name is free again.
+        assert!(LockFile::acquire(&dir, "shard-3").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_claims_are_never_stolen_early() {
+        let dir = temp_dir("no-early-steal");
+        let live = LockFile::acquire(&dir, "busy").unwrap().expect("claim");
+        // A live (fresh-mtime) claim survives both a no-deadline attempt
+        // and one with a deadline it has not reached.
+        for steal_after in [None, Some(Duration::from_secs(60))] {
+            match LockFile::acquire_or_steal(&dir, "busy", steal_after).unwrap() {
+                Claim::Held(Some(info)) => {
+                    assert!(info.holder.contains(&std::process::id().to_string()));
+                }
+                other => panic!("expected Held under {steal_after:?}, got {other:?}"),
+            }
+        }
+        drop(live);
+        // Once released, the same call acquires normally (no steal).
+        match LockFile::acquire_or_steal(&dir, "busy", Some(Duration::from_secs(60))).unwrap() {
+            Claim::Acquired(_) => {}
+            other => panic!("expected Acquired, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_displaced_holders_release_cannot_delete_the_stealers_lock() {
+        let dir = temp_dir("displaced");
+        // A slow (but alive) worker whose claim outlives the deadline —
+        // the operator picked a steal_after shorter than the shard's
+        // honest runtime.
+        let slow = LockFile::acquire(&dir, "shard-9").unwrap().expect("claim");
+        LockFile::backdate_for_tests(&dir, "shard-9", Duration::from_secs(3600));
+        let stolen =
+            match LockFile::acquire_or_steal(&dir, "shard-9", Some(Duration::from_secs(60)))
+                .unwrap()
+            {
+                Claim::Stolen { lock, .. } => lock,
+                other => panic!("expected Stolen, got {other:?}"),
+            };
+        // The displaced worker finishes and releases: the token check must
+        // leave the stealer's live lockfile alone...
+        drop(slow);
+        assert!(stolen.path().exists(), "stealer's lockfile survives");
+        // ...so a third claimant still loses while the stealer works.
+        assert!(LockFile::acquire(&dir, "shard-9").unwrap().is_none());
+        // The stealer's own release does remove it.
+        drop(stolen);
+        assert!(LockFile::acquire(&dir, "shard-9").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eight_racing_stealers_exactly_one_wins() {
+        let dir = temp_dir("steal-race");
+        let dead = LockFile::acquire(&dir, "contended")
+            .unwrap()
+            .expect("claim");
+        std::mem::forget(dead);
+        LockFile::backdate_for_tests(&dir, "contended", Duration::from_secs(3600));
+
+        let barrier = std::sync::Barrier::new(8);
+        // Every thread returns its Claim so no guard is released until all
+        // attempts finished — a loser can never find the name freed by a
+        // fast winner, only held or stale.
+        let claims: Vec<Claim> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        LockFile::acquire_or_steal(&dir, "contended", Some(Duration::from_secs(60)))
+                            .expect("io")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wins = claims.iter().filter(|c| c.lock().is_some()).count();
+        assert_eq!(wins, 1, "exactly one of 8 racing stealers may win");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -148,6 +148,28 @@ pub struct CompactOutcome {
 /// (other threads, other hosts on a shared mount) can never corrupt each
 /// other: distinct batches get distinct names, identical batches collapse
 /// to one file.
+///
+/// # Example
+///
+/// ```
+/// use dsmt_store::Store;
+/// use serde::Value;
+///
+/// let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = Store::open(&dir, 1).unwrap();
+/// store.publish(vec![(7, Value::U64(42))]).unwrap();
+/// assert_eq!(store.get(7), Some(&Value::U64(42)));
+///
+/// // A second handle sees the open-time snapshot, and picks up foreign
+/// // segments on refresh().
+/// let mut other = Store::open(&dir, 1).unwrap();
+/// store.publish(vec![(8, Value::Bool(true))]).unwrap();
+/// assert!(other.get(8).is_none());
+/// other.refresh().unwrap();
+/// assert_eq!(other.get(8), Some(&Value::Bool(true)));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,

@@ -24,8 +24,21 @@
 //! running are not consulted (each engine run opens a fresh handle, so
 //! sequential processes always see each other); the cost of that race is
 //! re-simulating a cell another host just finished, never a wrong result.
-//! `dsmt_store::Store::refresh` is the primitive a live-polling transport
-//! would build on (see the ROADMAP's remote-transport item).
+//! The shard transport (`dsmt_shard::transport`) makes the opposite
+//! choice on the same primitive: its reads go through
+//! `dsmt_store::Store::refresh`, because a merger must observe other
+//! hosts' publishes on a live handle.
+//!
+//! **Shared directory contract**: the cache keys records by the raw
+//! scenario hash; the shard transport keys its outputs through the
+//! `shard-output` namespace of `dsmt_store::namespaced_key`. The two key
+//! sets are disjoint by construction, so one store directory — one shared
+//! mount point — can serve a fleet as both its scenario cache and its
+//! shard-output transport, under one LRU/GC/compaction policy. Both
+//! clients re-verify identity inside every value they read (this cache
+//! via the independent `verify` hash below, the transport via the grid
+//! hash and shard header it embeds), so even a freak 64-bit key collision
+//! degrades to a miss/re-run, never a wrong record.
 //!
 //! Configuration via environment:
 //!

@@ -132,6 +132,12 @@ impl SweepEngine {
     /// the cell space, the shared cache dedups any overlap, and records keep
     /// their grid-order `cell` indices so shards reassemble exactly.
     ///
+    /// Under the store transport the cache directory does double duty:
+    /// point this engine's cache at the fleet's store directory and the
+    /// scenario results simulated here share segments (and GC policy) with
+    /// the shard outputs the executor publishes there afterwards — the
+    /// "one store directory" protocol (see `dsmt_shard::transport`).
+    ///
     /// # Panics
     ///
     /// Panics if an index is out of range, plus the cases of

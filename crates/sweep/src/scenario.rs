@@ -94,7 +94,7 @@ impl Scenario {
     /// The workspace version is part of the key so that released simulator
     /// changes can never replay stale results; within one version, a change
     /// to simulator *behaviour* must be accompanied by a version (or
-    /// [`CACHE_SCHEMA_VERSION`](crate::CACHE_SCHEMA_VERSION)) bump — or use
+    /// [`crate::CACHE_SCHEMA_VERSION`]) bump — or use
     /// `DSMT_SWEEP_CACHE=off` while iterating on the simulator itself.
     #[must_use]
     pub fn cache_key(&self) -> u64 {

@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! dsmt shard plan <grid> --shards N [--strategy S] [--out plan.json]
-//! dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]
-//! dsmt shard merge <plan.json> [--dir DIR] [--out r.json] [--csv r.csv] [--dsr r.dsr]
+//! dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
+//!                [--store DIR | --out-dir DIR] [--workers W]
+//! dsmt shard status <plan.json> [--store DIR | --dir DIR] [--watch SECS]
+//! dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out r.json] [--csv r.csv] [--dsr r.dsr]
 //! dsmt sweep run <grid> [--workers W] [--out r.json] [--csv r.csv] [--dsr r.dsr]
 //! dsmt sweep ls
 //! dsmt sweep gc [--max-bytes N]
@@ -23,11 +25,23 @@
 //! caching honours `DSMT_SWEEP_CACHE` and `DSMT_SWEEP_CACHE_MAX_BYTES`
 //! like every other binary.
 //!
+//! `--store DIR` selects the **store transport**: shard outputs are
+//! published into (and merged back out of) a `dsmt-store` directory,
+//! keyed by grid content hash + shard index, instead of living as loose
+//! `.dsr` files. Point it at the same directory as `DSMT_SWEEP_CACHE` and
+//! one shared directory carries the fleet's scenario cache *and* its
+//! shard outputs. `shard status` reports each shard as done /
+//! claimed-by-whom / missing (`--watch` polls until complete).
+//!
 //! `shard run --missing` is the fleet-healing path: it claims every shard
-//! that has no verified output yet (O_EXCL lockfiles under the output
-//! directory) and executes the claimed ones, so any number of recovery
-//! workers can race safely. `sweep migrate` converts a v2 cache directory
-//! (one JSON file per scenario) into the v3 `dsmt-store` segment layout.
+//! that has no verified output yet (O_EXCL lockfiles) and executes the
+//! claimed ones, so any number of recovery workers can race safely. With
+//! `--steal-after SECS`, a claim whose lockfile is older than the
+//! deadline is presumed dead (its worker was killed without unwinding)
+//! and is stolen — exactly one racing stealer wins — so fleets recover
+//! from SIGKILLed hosts without an operator removing lockfiles by hand.
+//! `sweep migrate` converts a v2 cache directory (one JSON file per
+//! scenario) into the v3 `dsmt-store` segment layout.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -37,8 +51,8 @@ use dsmt_experiments::{
     ablations, fetch_policy, fig1, fig3, fig4, fig5, seed_variance, ExperimentParams,
 };
 use dsmt_shard::{
-    merge_shards, plan, run_missing, run_shard, shard_file_name, DsrFile, ShardManifest,
-    ShardStrategy,
+    merge_from, plan, recover, run_shard, shard_file_name, DsrFile, RecoverOptions, ShardManifest,
+    ShardState, ShardStrategy, Transport,
 };
 use dsmt_sweep::{
     export, migrate_v2, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport,
@@ -50,14 +64,23 @@ dsmt — sharded sweeps, result-store tooling and report export
 
 USAGE:
   dsmt shard plan <grid> --shards N [--strategy contiguous|strided|hashed] [--out plan.json]
-  dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]
-  dsmt shard merge <plan.json> [--dir DIR] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
+  dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
+                 [--store DIR | --out-dir DIR] [--workers W]
+  dsmt shard status <plan.json> [--store DIR | --dir DIR] [--watch SECS]
+  dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
   dsmt sweep run <grid> [--workers W] [--out report.json] [--csv report.csv] [--dsr report.dsr]
   dsmt sweep ls
   dsmt sweep gc [--max-bytes N]
   dsmt sweep compact
   dsmt sweep migrate [--dir DIR]
   dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
+
+TRANSPORTS:
+  --store DIR   publish/read shard outputs in a dsmt-store directory (keyed
+                by grid hash + shard index; share it with DSMT_SWEEP_CACHE
+                for the one-directory fleet protocol)
+  --out-dir/--dir DIR
+                loose .dsr files named <grid>.shard-<i>-of-<n>.dsr (default .)
 
 GRIDS:
   a path to a SweepGrid JSON file, or a built-in name:
@@ -206,8 +229,22 @@ fn shard_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("plan") => shard_plan(&args[1..]),
         Some("run") => shard_run(&args[1..]),
+        Some("status") => shard_status(&args[1..]),
         Some("merge") => shard_merge(&args[1..]),
-        _ => Err(format!("usage: dsmt shard plan|run|merge ...\n\n{USAGE}")),
+        _ => Err(format!(
+            "usage: dsmt shard plan|run|status|merge ...\n\n{USAGE}"
+        )),
+    }
+}
+
+/// Resolves the shard transport from `--store DIR` (store transport) or a
+/// plain directory flag (`--out-dir`/`--dir`, loose `.dsr` files,
+/// defaulting to the current directory).
+fn transport_from(p: &Parsed, dir_flag: &str) -> Result<Transport, String> {
+    match (p.flag("store"), p.flag(dir_flag)) {
+        (Some(_), Some(_)) => Err(format!("pass at most one of --store and --{dir_flag}")),
+        (Some(store), None) => Transport::store(store),
+        (None, dir) => Ok(Transport::loose(dir.unwrap_or("."))),
     }
 }
 
@@ -253,25 +290,40 @@ fn shard_plan(args: &[String]) -> Result<(), String> {
 }
 
 fn shard_run(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["index", "missing", "out-dir", "workers"])?;
-    let usage =
-        "usage: dsmt shard run <plan.json> --index I | --missing [--out-dir DIR] [--workers W]";
+    let p = parse(
+        args,
+        &[
+            "index",
+            "missing",
+            "out-dir",
+            "workers",
+            "store",
+            "steal-after",
+        ],
+    )?;
+    let usage = "usage: dsmt shard run <plan.json> --index I | --missing [--steal-after SECS] \
+                 [--store DIR | --out-dir DIR] [--workers W]";
     let [plan_path] = p.positional.as_slice() else {
         return Err(usage.into());
     };
     let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
-    let out_dir = PathBuf::from(p.flag("out-dir").unwrap_or("."));
+    let mut transport = transport_from(&p, "out-dir")?;
     let engine = engine(p.usize_flag("workers")?);
     let index = p.usize_flag("index")?;
     let missing = p.flag("missing").is_some();
+    let steal_after = p
+        .usize_flag("steal-after")?
+        .map(|secs| std::time::Duration::from_secs(secs as u64));
     match (index, missing) {
         (Some(_), true) | (None, false) => {
             Err(format!("pass exactly one of --index or --missing\n{usage}"))
         }
+        (Some(_), false) if steal_after.is_some() => {
+            Err(format!("--steal-after only applies to --missing\n{usage}"))
+        }
         (Some(index), false) => {
             let run = run_shard(&manifest, index, &engine).map_err(|e| e.to_string())?;
-            let out = out_dir.join(shard_file_name(&manifest, index));
-            run.dsr.write(&out).map_err(|e| e.to_string())?;
+            transport.publish(&manifest, &run.dsr)?;
             println!(
                 "shard {index}/{}: {} cells ({} cached, {} simulated) in {:.2}s -> {}",
                 manifest.num_shards(),
@@ -279,12 +331,18 @@ fn shard_run(args: &[String]) -> Result<(), String> {
                 run.report.cache_hits,
                 run.report.cache_misses,
                 run.report.wall_secs,
-                out.display(),
+                transport.describe(),
             );
             Ok(())
         }
         (None, true) => {
-            let outcome = run_missing(&manifest, &out_dir, &engine).map_err(|e| e.to_string())?;
+            let outcome = recover(
+                &manifest,
+                &mut transport,
+                &engine,
+                &RecoverOptions { steal_after },
+            )
+            .map_err(|e| e.to_string())?;
             let list = |ix: &[usize]| {
                 ix.iter()
                     .map(ToString::to_string)
@@ -292,14 +350,20 @@ fn shard_run(args: &[String]) -> Result<(), String> {
                     .join(", ")
             };
             println!(
-                "recovery pass over {} shards in {}: executed [{}], already done [{}], \
+                "recovery pass over {} shards ({}): executed [{}], already done [{}], \
                  claimed elsewhere [{}]",
                 manifest.num_shards(),
-                out_dir.display(),
+                transport.describe(),
                 list(&outcome.executed()),
                 list(&outcome.already_done()),
                 list(&outcome.claimed_elsewhere()),
             );
+            for steal in &outcome.steals {
+                println!(
+                    "stole stale claim on shard {} (was: {})",
+                    steal.shard_index, steal.previous
+                );
+            }
             if outcome.complete() {
                 println!("every shard now has a verified output; ready to merge");
             } else {
@@ -310,25 +374,79 @@ fn shard_run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn shard_merge(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["dir", "out", "csv", "dsr"])?;
+fn shard_status(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["store", "dir", "watch"])?;
     let [plan_path] = p.positional.as_slice() else {
         return Err(
-            "usage: dsmt shard merge <plan.json> [--dir DIR] [--out FILE] [--csv FILE] [--dsr FILE]"
+            "usage: dsmt shard status <plan.json> [--store DIR | --dir DIR] [--watch SECS]".into(),
+        );
+    };
+    let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
+    let mut transport = transport_from(&p, "dir")?;
+    let watch = p.usize_flag("watch")?;
+    loop {
+        let report = transport.status(&manifest);
+        println!(
+            "plan `{}` (grid hash {}, {} shards) via {}:",
+            manifest.grid.name,
+            manifest.grid_hash,
+            manifest.num_shards(),
+            transport.describe(),
+        );
+        for shard in &report.shards {
+            let cells = manifest.shards[shard.index].len();
+            match &shard.state {
+                ShardState::Done { records } => {
+                    println!("  shard {}: done ({records} records)", shard.index);
+                }
+                ShardState::Claimed(info) => {
+                    println!(
+                        "  shard {}: claimed by {} ({cells} cells)",
+                        shard.index,
+                        info.describe(),
+                    );
+                }
+                ShardState::Missing => {
+                    println!("  shard {}: missing ({cells} cells)", shard.index);
+                }
+            }
+        }
+        println!(
+            "{} done, {} claimed, {} missing{}",
+            report.done(),
+            report.claimed(),
+            report.missing(),
+            if report.complete() {
+                " — complete, ready to merge"
+            } else {
+                ""
+            },
+        );
+        let Some(secs) = watch else { break };
+        if report.complete() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1) as u64));
+    }
+    Ok(())
+}
+
+fn shard_merge(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["store", "dir", "out", "csv", "dsr"])?;
+    let [plan_path] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out FILE] \
+             [--csv FILE] [--dsr FILE]"
                 .into(),
         );
     };
     let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
-    let dir = PathBuf::from(p.flag("dir").unwrap_or("."));
-    let mut files = Vec::new();
-    for index in 0..manifest.num_shards() {
-        let path = dir.join(shard_file_name(&manifest, index));
-        files.push(DsrFile::read(&path).map_err(|e| e.to_string())?);
-    }
-    let report = merge_shards(&manifest, &files).map_err(|e| e.to_string())?;
+    let mut transport = transport_from(&p, "dir")?;
+    let report = merge_from(&manifest, &mut transport).map_err(|e| e.to_string())?;
     println!(
-        "merged {} shards -> {} cells of `{}`",
+        "merged {} shards ({}) -> {} cells of `{}`",
         manifest.num_shards(),
+        transport.describe(),
         report.records.len(),
         report.grid,
     );

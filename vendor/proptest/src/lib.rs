@@ -317,7 +317,7 @@ pub mod prop {
         use crate::Strategy;
         use std::ops::Range;
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug)]
         pub struct VecOf<S> {
             element: S,
