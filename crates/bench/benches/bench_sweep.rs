@@ -14,6 +14,14 @@
 //!   `cells_per_sec_*` fields carry the medians.
 //!
 //! `DSMT_BENCH_QUICK=1` shrinks sample counts for CI smoke jobs.
+//!
+//! The snapshot also prices the observability layer: serial throughput is
+//! measured with telemetry hard-off and again with debug-level JSONL
+//! tracing, and the gap lands in `telemetry_overhead_pct`. With
+//! `DSMT_BENCH_STRICT=1` the run additionally gates against the committed
+//! snapshot: disabled-telemetry serial throughput must stay within 1% of
+//! the checked-in `cells_per_sec_serial` (the acceptance bar for "tracing
+//! is free when off").
 
 use criterion::{criterion_group, criterion_main, summarize, Criterion, Throughput};
 use dsmt_core::SimConfig;
@@ -35,6 +43,10 @@ fn bench_grid() -> SweepGrid {
 
 fn quick_mode() -> bool {
     std::env::var("DSMT_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+fn strict_mode() -> bool {
+    std::env::var("DSMT_BENCH_STRICT").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 fn cells_per_sec(workers: usize, cached_dir: Option<&std::path::Path>) -> f64 {
@@ -68,7 +80,36 @@ fn write_snapshot() {
     let parallel_workers = host_cpus;
     let samples = if quick_mode() { 2 } else { 5 };
 
-    let serial = sample_cells_per_sec(1, None, samples);
+    // Serial throughput with telemetry hard-off (the configuration the <1%
+    // regression gate prices) and with debug-level JSONL tracing to a file.
+    // The two are sampled *interleaved* — off, on, off, on … — so slow
+    // load drift on a shared host cancels out of the comparison instead of
+    // masquerading as telemetry cost.
+    let trace = std::env::temp_dir().join(format!("dsmt-bench-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    let jsonl_spec = format!("jsonl:{}", trace.display());
+    dsmt_obs::init_from_spec("off");
+    let _ = cells_per_sec(1, None); // warm caches/allocator before sampling
+    let (mut off_runs, mut on_runs) = (Vec::new(), Vec::new());
+    for pair in 0..samples * 3 {
+        // Alternate which configuration goes first so order bias cancels
+        // along with load drift.
+        let specs = if pair % 2 == 0 {
+            [("off", &mut off_runs), (jsonl_spec.as_str(), &mut on_runs)]
+        } else {
+            [(jsonl_spec.as_str(), &mut on_runs), ("off", &mut off_runs)]
+        };
+        for (spec, runs) in specs {
+            dsmt_obs::init_from_spec(spec);
+            runs.push(cells_per_sec(1, None));
+        }
+    }
+    dsmt_obs::init_from_spec("off");
+    let _ = std::fs::remove_file(&trace);
+    let serial = summarize(&off_runs);
+    let traced = summarize(&on_runs);
+    let telemetry_overhead_pct = (1.0 - traced.median_ns / serial.median_ns.max(1e-9)) * 100.0;
+
     let parallel = sample_cells_per_sec(parallel_workers, None, samples);
 
     let cache_dir = std::env::temp_dir().join(format!("dsmt-bench-cache-{}", std::process::id()));
@@ -107,6 +148,14 @@ fn write_snapshot() {
         ),
         ("cells_per_sec_cached_replay".to_string(), f(replay)),
         (
+            "cells_per_sec_serial_traced".to_string(),
+            f(traced.median_ns),
+        ),
+        (
+            "telemetry_overhead_pct".to_string(),
+            f(telemetry_overhead_pct),
+        ),
+        (
             "parallel_speedup".to_string(),
             f(parallel.median_ns / serial.median_ns.max(1e-9)),
         ),
@@ -114,6 +163,15 @@ fn write_snapshot() {
     let text = serde::to_string_pretty(&snapshot);
     // Anchor the snapshot at the workspace root regardless of bench cwd.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    // The committed baseline, read before we overwrite it (strict gate).
+    let committed_serial = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| serde::from_str::<serde::Value>(&t).ok())
+        .and_then(|v| {
+            v.field("cells_per_sec_serial")
+                .and_then(serde::Value::as_f64)
+                .ok()
+        });
     if let Err(e) = std::fs::write(&path, &text) {
         eprintln!("warn: cannot write {}: {e}", path.display());
     }
@@ -132,6 +190,27 @@ fn write_snapshot() {
         "cached replay not faster than simulation: {replay:.1} vs {:.1} cells/s",
         parallel.median_ns
     );
+    // Even with debug-level tracing on, the serial path must stay in the
+    // same ballpark (events are per-cell, not per-cycle).
+    assert!(
+        traced.median_ns > 0.5 * serial.median_ns,
+        "tracing halves sweep throughput: {:.1} vs {:.1} cells/s",
+        traced.median_ns,
+        serial.median_ns
+    );
+    // Strict gate (CI perf job): disabled telemetry must cost < 1% against
+    // the committed snapshot. Off by default because a loaded laptop
+    // produces >1% noise run-to-run.
+    if strict_mode() {
+        let committed = committed_serial.expect("strict mode needs a committed BENCH_sweep.json");
+        let regression_pct = (1.0 - serial.median_ns / committed) * 100.0;
+        assert!(
+            regression_pct < 1.0,
+            "disabled-telemetry serial throughput regressed {regression_pct:.2}% \
+             vs committed snapshot ({:.1} now vs {committed:.1} committed cells/s)",
+            serial.median_ns
+        );
+    }
 }
 
 fn bench_sweep(c: &mut Criterion) {

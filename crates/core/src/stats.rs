@@ -232,6 +232,24 @@ impl SimResults {
     pub fn store_miss_ratio(&self) -> f64 {
         self.mem.store_miss_ratio()
     }
+
+    /// Folds this run's counters into the process-wide metrics registry
+    /// (`core.cycles`, `core.instructions`, and the per-phase issue-slot
+    /// attribution `core.slots.*` summed over both processing units).
+    ///
+    /// Called once per completed simulation from the sweep layer — a
+    /// post-hoc accumulation over already-collected counters, so the
+    /// simulator's hot loop pays nothing whether or not telemetry is on.
+    pub fn record_metrics(&self) {
+        dsmt_obs::counter!("core.cycles").add(self.cycles);
+        dsmt_obs::counter!("core.instructions").add(self.instructions);
+        let both = |pick: fn(&UnitSlots) -> u64| pick(&self.ap_slots) + pick(&self.ep_slots);
+        dsmt_obs::counter!("core.slots.useful").add(both(|u| u.useful));
+        dsmt_obs::counter!("core.slots.wait_memory").add(both(|u| u.wait_memory));
+        dsmt_obs::counter!("core.slots.wait_fu").add(both(|u| u.wait_fu));
+        dsmt_obs::counter!("core.slots.wrong_path_or_idle").add(both(|u| u.wrong_path_or_idle));
+        dsmt_obs::counter!("core.slots.other").add(both(|u| u.other));
+    }
 }
 
 #[cfg(test)]

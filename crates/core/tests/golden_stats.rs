@@ -162,3 +162,36 @@ fn golden_runs_are_reproducible() {
     let b = Processor::with_spec_workload(cfg, 7).run(20_000);
     assert_results_match(&a, &b);
 }
+
+/// Fully-enabled telemetry (debug-level JSONL tracing + the metrics
+/// registry) observes the simulation without steering it: every statistic
+/// stays bit-identical to an untraced run.
+#[test]
+fn golden_runs_survive_full_telemetry() {
+    let cfg = SimConfig::paper_multithreaded(2).with_l2_latency(64);
+    let baseline = Processor::with_spec_workload(cfg.clone(), 7).run(20_000);
+
+    let trace =
+        std::env::temp_dir().join(format!("dsmt-golden-trace-{}.jsonl", std::process::id()));
+    dsmt_obs::init_from_spec(&format!("jsonl:{}", trace.display()));
+    let traced = Processor::with_spec_workload(cfg, 7).run(20_000);
+    traced.record_metrics();
+    dsmt_obs::info!("golden.telemetry_check", cycles = traced.cycles);
+    dsmt_obs::init_from_spec("off");
+
+    assert_results_match(&traced, &baseline);
+    let snapshot = dsmt_obs::registry().snapshot();
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|(name, v)| name == "core.cycles" && *v >= baseline.cycles),
+        "record_metrics must land in the registry"
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(
+        text.lines().any(|l| l.contains("golden.telemetry_check")),
+        "trace must carry the emitted event"
+    );
+    let _ = std::fs::remove_file(&trace);
+}

@@ -78,14 +78,27 @@ pub enum ShardDisposition {
     Executed,
 }
 
+/// The default claim heartbeat interval the CLI runs with: frequent enough
+/// that any `--steal-after` over a couple of minutes is safe regardless of
+/// shard cost, rare enough that the mtime writes are free.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(30);
+
 /// Options for a [`recover`] pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoverOptions {
     /// When set, a shard claim whose lockfile mtime is at least this old
     /// is presumed dead (its holder was killed without unwinding) and is
     /// stolen — see [`dsmt_store::LockFile::acquire_or_steal`]. Pick a
-    /// deadline comfortably longer than the longest honest shard runtime.
+    /// deadline comfortably longer than the longest honest shard runtime —
+    /// or, with `heartbeat` set, than the heartbeat interval.
     pub steal_after: Option<Duration>,
+    /// When set, each claim this pass holds is re-touched at this interval
+    /// by a background heartbeat thread (see
+    /// [`dsmt_store::LockFile::spawn_heartbeat`]), so a fleet can run
+    /// `steal_after` deadlines far shorter than a shard's runtime: only a
+    /// worker that actually died stops beating. The CLI passes
+    /// [`DEFAULT_HEARTBEAT`].
+    pub heartbeat: Option<Duration>,
 }
 
 /// One stale claim a [`recover`] pass reaped: which shard, and the holder
@@ -94,7 +107,8 @@ pub struct RecoverOptions {
 pub struct StealRecord {
     /// The shard whose claim was stolen.
     pub shard_index: usize,
-    /// Holder record of the reaped lockfile (e.g. `pid 1234 (97s old)`).
+    /// Holder record of the reaped lockfile (e.g.
+    /// `pid 1234 (heartbeat 97s ago)`).
     pub previous: String,
 }
 
@@ -193,11 +207,15 @@ pub fn recover(
     options: &RecoverOptions,
 ) -> Result<MissingRun, ShardPlanError> {
     manifest.validate()?;
+    let _span = dsmt_obs::span("shard.recover")
+        .field("grid", manifest.grid.name.as_str())
+        .field("shards", manifest.num_shards());
     let mut dispositions = Vec::with_capacity(manifest.num_shards());
     let mut steals = Vec::new();
     for index in 0..manifest.num_shards() {
         if transport.read_verified(manifest, index).is_some() {
             dispositions.push(ShardDisposition::AlreadyDone);
+            dsmt_obs::counter!("shard.shards_already_done").inc();
             continue;
         }
         let claim = match transport.claim(manifest, index, options.steal_after) {
@@ -217,16 +235,38 @@ pub fn recover(
                 continue;
             }
         };
+        dsmt_obs::counter!("shard.claims_acquired").inc();
+        dsmt_obs::info!("shard.claim_acquired", shard = index);
+        if let Some(previous) = &stolen_from {
+            dsmt_obs::counter!("shard.claims_stolen").inc();
+            dsmt_obs::info!(
+                "shard.claim_stolen",
+                shard = index,
+                previous = previous.as_str()
+            );
+        }
+        // Keep the claim visibly alive while the shard runs: the beat
+        // stops (and its thread joins) before the claim itself releases.
+        let _heartbeat = options
+            .heartbeat
+            .and_then(|interval| claim.lock().map(|lock| lock.spawn_heartbeat(interval)));
         // Double-check under the claim: another worker may have finished
         // between the probe and the acquire.
         if transport.read_verified(manifest, index).is_some() {
             dispositions.push(ShardDisposition::AlreadyDone);
+            dsmt_obs::counter!("shard.shards_already_done").inc();
             continue;
         }
         let run = run_shard(manifest, index, engine)?;
         transport.publish(manifest, &run.dsr).map_err(|e| {
             ShardPlanError::BadPartition(format!("cannot publish shard {index}: {e}"))
         })?;
+        dsmt_obs::counter!("shard.shards_executed").inc();
+        dsmt_obs::info!(
+            "shard.published",
+            shard = index,
+            records = run.dsr.records.len()
+        );
         if let Some(previous) = stolen_from {
             steals.push(StealRecord {
                 shard_index: index,
@@ -234,7 +274,9 @@ pub fn recover(
             });
         }
         dispositions.push(ShardDisposition::Executed);
-        // `claim` (and its lockfile) releases here, after the publish.
+        // The heartbeat stops first, then `claim` (and its lockfile)
+        // releases — both after the publish.
+        drop(_heartbeat);
         drop(claim);
     }
     Ok(MissingRun {
@@ -415,6 +457,7 @@ mod tests {
             RecoverOptions::default(),
             RecoverOptions {
                 steal_after: Some(Duration::from_secs(7200)),
+                ..RecoverOptions::default()
             },
         ] {
             let outcome = recover(&m, &mut transport, &engine, &options).expect("pass");
@@ -429,6 +472,7 @@ mod tests {
             &engine,
             &RecoverOptions {
                 steal_after: Some(Duration::from_secs(60)),
+                ..RecoverOptions::default()
             },
         )
         .expect("stealing pass");
@@ -479,6 +523,7 @@ mod tests {
                             &engine,
                             &RecoverOptions {
                                 steal_after: Some(Duration::from_secs(60)),
+                                ..RecoverOptions::default()
                             },
                         )
                         .expect("recover")

@@ -82,7 +82,7 @@ pub mod transport;
 pub use dsr::{DsrError, DsrFile, DsrRecord, DSR_FORMAT_VERSION};
 pub use executor::{
     recover, run_missing, run_shard, shard_file_name, MissingRun, RecoverOptions, ShardDisposition,
-    ShardRun, StealRecord,
+    ShardRun, StealRecord, DEFAULT_HEARTBEAT,
 };
 pub use merge::{merge_from, merge_shards, MergeError};
 pub use partition::{

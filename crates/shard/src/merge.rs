@@ -169,6 +169,7 @@ pub fn merge_shards(
         cache_hits: 0,
         cache_misses: 0,
         wall_secs: 0.0,
+        metrics: None,
     })
 }
 
@@ -192,6 +193,9 @@ pub fn merge_from(
     transport: &mut Transport,
 ) -> Result<SweepReport, MergeError> {
     manifest.validate()?;
+    let _span = dsmt_obs::span("shard.merge")
+        .field("grid", manifest.grid.name.as_str())
+        .field("shards", manifest.num_shards());
     let mut files = Vec::with_capacity(manifest.num_shards());
     for index in 0..manifest.num_shards() {
         match transport.read_for_merge(manifest, index) {
@@ -205,7 +209,13 @@ pub fn merge_from(
             }
         }
     }
-    merge_shards(manifest, &files)
+    let report = merge_shards(manifest, &files)?;
+    dsmt_obs::info!(
+        "shard.merged",
+        grid = manifest.grid.name.as_str(),
+        records = report.records.len()
+    );
+    Ok(report)
 }
 
 #[cfg(test)]

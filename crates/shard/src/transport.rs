@@ -87,12 +87,12 @@ impl ShardStore {
     }
 
     /// Picks up segments other workers published since open (or the last
-    /// refresh). Errors (e.g. a corrupt foreign segment) are reported on
-    /// stderr and otherwise ignored: the snapshot stays usable, and the
-    /// cost is re-running a shard, never a wrong merge.
+    /// refresh). Errors (e.g. a corrupt foreign segment) are reported as a
+    /// warning event and otherwise ignored: the snapshot stays usable, and
+    /// the cost is re-running a shard, never a wrong merge.
     pub fn refresh(&mut self) {
         if let Err(e) = self.store.refresh() {
-            eprintln!("warning: shard store refresh failed: {e}");
+            dsmt_obs::warn!("shard.store_refresh_failed", error = e.to_string());
         }
     }
 

@@ -218,3 +218,54 @@ fn on_disk_plan_run_merge_round_trip() {
 
     let _ = std::fs::remove_dir_all(&work_dir);
 }
+
+/// The byte-identity acceptance criterion survives fully-enabled
+/// telemetry: a sharded fleet traced at debug level (with heartbeats on)
+/// still merges to the exact `.dsr` bytes of an untraced monolithic run.
+#[test]
+fn telemetry_enabled_fleet_merges_byte_identical() {
+    let grid = grid();
+    let mono = SweepEngine::new(2).without_cache().run(&grid);
+    let mono_dsr = DsrFile::from_report(&grid, &mono, 0, 1);
+
+    let dir = temp_dir("telemetry");
+    let trace = std::env::temp_dir().join(format!("dsmt-shard-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    dsmt_obs::init_from_spec(&format!("jsonl:{}", trace.display()));
+
+    let manifest = plan(&grid, 3, ShardStrategy::Strided).expect("plan");
+    let mut transport = Transport::store(&dir).expect("store transport");
+    let engine = SweepEngine::new(2).without_cache();
+    let outcome = recover(
+        &manifest,
+        &mut transport,
+        &engine,
+        &RecoverOptions {
+            steal_after: None,
+            heartbeat: Some(std::time::Duration::from_millis(50)),
+        },
+    )
+    .expect("traced recovery pass");
+    assert_eq!(outcome.executed(), vec![0, 1, 2]);
+    let merged = merge_from(&manifest, &mut transport).expect("merge");
+    dsmt_obs::init_from_spec("off");
+
+    let merged_dsr = DsrFile::from_report(&grid, &merged, 0, 1);
+    assert_eq!(
+        merged_dsr.encode(),
+        mono_dsr.encode(),
+        "telemetry must never leak into the merged .dsr bytes"
+    );
+
+    // The trace recorded the fleet protocol, one JSON object per line.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.lines().any(|l| l.contains("\"shard.claim_acquired\"")));
+    assert!(text.lines().any(|l| l.contains("\"shard.merged\"")));
+    for line in text.lines() {
+        let _: serde::Value = serde::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line ({e}): {line}"));
+    }
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,7 +46,7 @@ pub mod segment;
 pub mod store;
 
 pub use codec::{get_raw_str, get_value, put_value, CodecError, StrTable};
-pub use lock::{atomic_write, Claim, ClaimInfo, LockFile};
+pub use lock::{atomic_write, Claim, ClaimInfo, Heartbeat, LockFile};
 pub use segment::{Segment, SEGMENT_FORMAT_VERSION};
 pub use store::{is_v2_entry_name, CompactOutcome, GcOutcome, SegmentInfo, Store, StoreError};
 

@@ -88,11 +88,16 @@ pub struct ClaimInfo {
 }
 
 impl ClaimInfo {
-    /// Renders `holder (<age>s old)` for reports and log lines.
+    /// Renders `holder (heartbeat <age>s ago)` for reports and log lines.
+    ///
+    /// The lockfile's mtime doubles as the holder's heartbeat: acquisition
+    /// writes the file (first beat) and a live holder re-touches it via
+    /// [`LockFile::spawn_heartbeat`], so the age printed here is the time
+    /// since the holder last proved it was alive.
     #[must_use]
     pub fn describe(&self) -> String {
         match self.age {
-            Some(age) => format!("{} ({}s old)", self.holder, age.as_secs()),
+            Some(age) => format!("{} (heartbeat {}s ago)", self.holder, age.as_secs()),
             None => self.holder.clone(),
         }
     }
@@ -169,6 +174,7 @@ impl LockFile {
                 let token_line = format!("token {}", fresh_token());
                 let _ = writeln!(file, "pid {}", std::process::id());
                 let _ = writeln!(file, "{token_line}");
+                dsmt_obs::counter!("store.locks_acquired").inc();
                 Ok(Some(LockFile { path, token_line }))
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
@@ -307,7 +313,10 @@ impl LockFile {
             Err(e) => return Err(e),
         }
         Ok(match Self::acquire(dir, name)? {
-            Some(lock) => Claim::Stolen { lock, previous },
+            Some(lock) => {
+                dsmt_obs::counter!("store.locks_stolen").inc();
+                Claim::Stolen { lock, previous }
+            }
             None => Claim::Held(Self::inspect(dir, name)),
         })
     }
@@ -321,6 +330,87 @@ impl LockFile {
         let path = dir.as_ref().join(format!("{name}.lock"));
         if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
             let _ = f.set_modified(SystemTime::now() - age);
+        }
+    }
+
+    /// Starts a background thread that re-touches this claim's lockfile
+    /// mtime every `interval`, proving the holder alive, so fleets can run
+    /// short [`LockFile::acquire_or_steal`] deadlines regardless of how
+    /// long honest work on the claim takes. The beat stops when the
+    /// returned [`Heartbeat`] guard drops (drop it *before* releasing the
+    /// claim) — or on its own when the lockfile no longer carries this
+    /// guard's ownership token, so a holder whose claim was stolen can
+    /// never freshen the thief's lockfile.
+    #[must_use]
+    pub fn spawn_heartbeat(&self, interval: Duration) -> Heartbeat {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let beats = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let path = self.path.clone();
+        let token_line = self.token_line.clone();
+        let handle = {
+            let stop = std::sync::Arc::clone(&stop);
+            let beats = std::sync::Arc::clone(&beats);
+            std::thread::spawn(move || {
+                use std::sync::atomic::Ordering;
+                let tick = Duration::from_millis(25);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat < interval {
+                        continue;
+                    }
+                    since_beat = Duration::ZERO;
+                    // Ownership check: only freshen a lockfile that still
+                    // carries our token. Anything else means the claim was
+                    // stolen or released under us — stop beating.
+                    let ours = std::fs::read_to_string(&path)
+                        .is_ok_and(|s| s.lines().any(|line| line.trim() == token_line));
+                    if !ours {
+                        dsmt_obs::warn!(
+                            "store.heartbeat_lost_claim",
+                            lock = path.display().to_string()
+                        );
+                        return;
+                    }
+                    if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+                        let _ = f.set_modified(SystemTime::now());
+                        beats.fetch_add(1, Ordering::Relaxed);
+                        dsmt_obs::counter!("store.heartbeats").inc();
+                    }
+                }
+            })
+        };
+        Heartbeat {
+            stop,
+            beats,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// A running claim heartbeat (see [`LockFile::spawn_heartbeat`]). Dropping
+/// it stops and joins the beat thread.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    beats: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Number of mtime touches performed so far.
+    #[must_use]
+    pub fn beats(&self) -> u64 {
+        self.beats.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -399,7 +489,11 @@ mod tests {
             Claim::Held(Some(info)) => {
                 assert!(info.holder.contains(&std::process::id().to_string()));
                 assert!(info.age.expect("age measurable") >= Duration::from_secs(3600));
-                assert!(info.describe().contains("s old"), "{}", info.describe());
+                assert!(
+                    info.describe().contains("heartbeat") && info.describe().contains("s ago"),
+                    "{}",
+                    info.describe()
+                );
             }
             other => panic!("expected Held, got {other:?}"),
         }
@@ -493,6 +587,66 @@ mod tests {
         });
         let wins = claims.iter().filter(|c| c.lock().is_some()).count();
         assert_eq!(wins, 1, "exactly one of 8 racing stealers may win");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_claim_looking_fresh() {
+        let dir = temp_dir("heartbeat");
+        let claim = LockFile::acquire(&dir, "beating").unwrap().expect("claim");
+        // Make the claim look long-dead, then let the heartbeat revive it.
+        LockFile::backdate_for_tests(&dir, "beating", Duration::from_secs(3600));
+        let hb = claim.spawn_heartbeat(Duration::from_millis(50));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while hb.beats() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(hb.beats() > 0, "heartbeat never fired");
+        let info = LockFile::inspect(&dir, "beating").expect("claim inspectable");
+        assert!(
+            info.age.expect("age measurable") < Duration::from_secs(3600),
+            "heartbeat did not refresh the mtime: {info:?}"
+        );
+        // A freshly-beating claim is never stolen, even under a deadline
+        // far shorter than the claim's total age.
+        match LockFile::acquire_or_steal(&dir, "beating", Some(Duration::from_secs(60))).unwrap() {
+            Claim::Held(_) => {}
+            other => panic!("expected Held while beating, got {other:?}"),
+        }
+        drop(hb);
+        drop(claim);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_stops_touching_after_its_claim_is_stolen() {
+        let dir = temp_dir("heartbeat-stolen");
+        let claim = LockFile::acquire(&dir, "victim").unwrap().expect("claim");
+        let hb = claim.spawn_heartbeat(Duration::from_millis(50));
+        // Steal the claim out from under the beating holder.
+        LockFile::backdate_for_tests(&dir, "victim", Duration::from_secs(3600));
+        let stolen = match LockFile::acquire_or_steal(&dir, "victim", Some(Duration::from_secs(60)))
+            .unwrap()
+        {
+            Claim::Stolen { lock, .. } => lock,
+            other => panic!("expected Stolen, got {other:?}"),
+        };
+        // The old heartbeat must see the foreign token and stop: the
+        // thief's lockfile mtime stays where the thief put it. Give the
+        // beat thread a few intervals to notice, then verify the beat
+        // count stays flat.
+        std::thread::sleep(Duration::from_millis(200));
+        let beats_then = hb.beats();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(
+            hb.beats(),
+            beats_then,
+            "displaced holder's heartbeat kept beating on the thief's lockfile"
+        );
+        drop(hb);
+        drop(claim);
+        assert!(stolen.path().exists(), "thief's lockfile survives");
+        drop(stolen);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -377,6 +377,14 @@ impl Store {
         let path = self.segments_dir().join(&name);
         atomic_write(&path, &bytes)?;
         let meta = std::fs::metadata(&path)?;
+        dsmt_obs::counter!("store.segments_published").inc();
+        dsmt_obs::counter!("store.bytes_published").add(meta.len());
+        dsmt_obs::info!(
+            "store.publish",
+            segment = name.as_str(),
+            records = segment.records.len(),
+            bytes = meta.len()
+        );
         // An identical batch re-published lands on the same file; refresh
         // the in-memory copy instead of double-attaching, and re-assert its
         // records as the shadow winners — its mtime is now the newest, and
@@ -470,6 +478,8 @@ impl Store {
                 file: name.clone(),
                 why: e.to_string(),
             })?;
+            dsmt_obs::counter!("store.segments_read").inc();
+            dsmt_obs::counter!("store.bytes_read").add(bytes);
             self.attach(LoadedSegment {
                 name,
                 path,
@@ -503,12 +513,14 @@ impl Store {
     /// best-effort: a segment that cannot be removed is counted as kept.
     pub fn gc(&mut self, max_bytes: u64) -> GcOutcome {
         let Ok(Some(_guard)) = self.claim("gc") else {
-            eprintln!(
-                "warning: store gc skipped: {} is claimed ({}); if no collector is \
-                 running, the claim is stale — remove the file to re-enable eviction",
-                self.locks_dir().join("gc.lock").display(),
-                LockFile::holder(self.locks_dir(), "gc")
+            dsmt_obs::counter!("store.lock_contention").inc();
+            dsmt_obs::warn!(
+                "store.gc_skipped",
+                lock = self.locks_dir().join("gc.lock").display().to_string(),
+                holder = LockFile::holder(self.locks_dir(), "gc")
                     .unwrap_or_else(|| "unknown holder".to_string()),
+                hint = "if no collector is running, the claim is stale — \
+                        remove the file to re-enable eviction"
             );
             return GcOutcome {
                 examined: self.segments.len(),
@@ -556,6 +568,15 @@ impl Store {
                 self.segments.remove(idx);
             }
             self.reindex();
+            dsmt_obs::counter!("store.gc_evictions").add(outcome.evicted as u64);
+            dsmt_obs::info!(
+                "store.gc",
+                evicted = outcome.evicted,
+                evicted_bytes = outcome.evicted_bytes,
+                kept = outcome.kept,
+                kept_bytes = outcome.kept_bytes,
+                max_bytes = max_bytes
+            );
         }
         outcome
     }
@@ -569,6 +590,9 @@ impl Store {
     /// [`StoreError::Io`] on filesystem failure; the store is reloaded
     /// from disk on success.
     pub fn compact(&mut self) -> Result<CompactOutcome, StoreError> {
+        let _span = dsmt_obs::span("store.compact")
+            .field("segments_before", self.segments.len())
+            .field("bytes_before", self.total_bytes());
         let before_segments = self.segments.len();
         let before_bytes = self.total_bytes();
         let mut keys: Vec<u64> = self.index.keys().copied().collect();

@@ -97,9 +97,10 @@ impl CacheMode {
         match v.trim().parse::<u64>() {
             Ok(n) => Some(n),
             Err(_) => {
-                eprintln!(
-                    "warning: ignoring DSMT_SWEEP_CACHE_MAX_BYTES=`{v}` \
-                     (expected a plain byte count, e.g. 1073741824)"
+                dsmt_obs::warn!(
+                    "sweep.bad_cache_cap_env",
+                    value = v.as_str(),
+                    hint = "expected a plain byte count, e.g. 1073741824"
                 );
                 None
             }
@@ -131,6 +132,7 @@ impl CacheStats {
     /// counters stay meaningful for uncached sweeps too.
     pub fn count_uncached_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        dsmt_obs::counter!("sweep.cells_simulated").inc();
     }
 }
 
@@ -254,7 +256,7 @@ impl ResultCache {
             return;
         }
         if let Err(e) = self.store.write().expect("store lock").publish(records) {
-            eprintln!("warning: sweep cache publish failed: {e}");
+            dsmt_obs::warn!("sweep.cache_publish_failed", error = e.to_string());
         }
     }
 
@@ -264,11 +266,15 @@ impl ResultCache {
     pub fn run_cached(&self, scenario: &Scenario, stats: &CacheStats) -> SimResults {
         if let Some(results) = self.lookup(scenario) {
             stats.hits.fetch_add(1, Ordering::Relaxed);
+            dsmt_obs::counter!("sweep.cells_cache_hit").inc();
+            dsmt_obs::debug!("sweep.cache.hit", key = scenario.cache_key_hex());
             return results;
         }
         let results = scenario.execute();
         self.store(scenario, &results);
         stats.misses.fetch_add(1, Ordering::Relaxed);
+        dsmt_obs::counter!("sweep.cells_simulated").inc();
+        dsmt_obs::debug!("sweep.cache.miss", key = scenario.cache_key_hex());
         results
     }
 

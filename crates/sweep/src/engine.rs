@@ -12,6 +12,9 @@ pub struct SweepEngine {
     pub workers: usize,
     /// Cache policy.
     pub cache: CacheMode,
+    /// Render a live `cells/s + ETA` progress line on stderr while running
+    /// (`dsmt sweep run --progress`).
+    pub progress: bool,
 }
 
 impl SweepEngine {
@@ -22,6 +25,7 @@ impl SweepEngine {
         SweepEngine {
             workers: workers.max(1),
             cache: CacheMode::from_env(),
+            progress: false,
         }
     }
 
@@ -45,6 +49,13 @@ impl SweepEngine {
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.cache = CacheMode::Dir(dir.into());
+        self
+    }
+
+    /// Enables the live progress line.
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
         self
     }
 
@@ -89,9 +100,29 @@ impl SweepEngine {
             .flat_map(|(gi, grid)| grid.cells().into_iter().map(move |c| (gi, c)))
             .collect();
 
+        let span = dsmt_obs::span("sweep.run")
+            .field("grids", grids.len())
+            .field("cells", jobs.len())
+            .field("workers", self.workers);
+        let progress = self
+            .progress
+            .then(|| crate::ProgressLine::start(jobs.len()));
+        let done = progress.as_ref().map(crate::ProgressLine::counter);
         let records = pool::run_indexed(&jobs, self.workers, |_, (gi, cell)| {
-            execute_cell(cache.as_ref(), &stats[*gi], &grids[*gi].name, cell)
+            let record = execute_cell(cache.as_ref(), &stats[*gi], &grids[*gi].name, cell);
+            if let Some(done) = &done {
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            record
         });
+        if let Some(progress) = progress {
+            progress.finish();
+        }
+        drop(span);
+        // A process-wide snapshot attached to each report while tracing is
+        // on; excluded from identity, so reports stay comparable.
+        let metrics_snapshot =
+            dsmt_obs::enabled(dsmt_obs::Level::Info).then(|| dsmt_obs::registry().snapshot());
         // Split the flat record list back into per-grid reports. Jobs were
         // concatenated in grid order, and run_indexed preserves input order.
         let mut records = records.into_iter();
@@ -105,12 +136,21 @@ impl SweepEngine {
                 // engine wall clock is shared by every grid in the batch and
                 // would double-count).
                 let wall_secs = records.iter().map(|r| r.perf.wall_secs).sum();
+                dsmt_obs::info!(
+                    "sweep.done",
+                    grid = grid.name.as_str(),
+                    cells = records.len(),
+                    cache_hits = stats.hits(),
+                    cache_misses = stats.misses(),
+                    wall_secs = wall_secs
+                );
                 SweepReport {
                     grid: grid.name.clone(),
                     records,
                     cache_hits: stats.hits(),
                     cache_misses: stats.misses(),
                     wall_secs,
+                    metrics: metrics_snapshot.clone(),
                 }
             })
             .collect();
@@ -158,9 +198,25 @@ impl SweepEngine {
                 })
             })
             .collect();
+        let span = dsmt_obs::span("sweep.run_subset")
+            .field("grid", grid.name.as_str())
+            .field("cells", cells.len())
+            .field("workers", self.workers);
+        let progress = self
+            .progress
+            .then(|| crate::ProgressLine::start(cells.len()));
+        let done = progress.as_ref().map(crate::ProgressLine::counter);
         let records = pool::run_indexed(&cells, self.workers, |_, cell| {
-            execute_cell(cache.as_ref(), &stats, &grid.name, cell)
+            let record = execute_cell(cache.as_ref(), &stats, &grid.name, cell);
+            if let Some(done) = &done {
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            record
         });
+        if let Some(progress) = progress {
+            progress.finish();
+        }
+        drop(span);
         let wall_secs = records.iter().map(|r| r.perf.wall_secs).sum();
         let report = SweepReport {
             grid: grid.name.clone(),
@@ -168,6 +224,8 @@ impl SweepEngine {
             cache_hits: stats.hits(),
             cache_misses: stats.misses(),
             wall_secs,
+            metrics: dsmt_obs::enabled(dsmt_obs::Level::Info)
+                .then(|| dsmt_obs::registry().snapshot()),
         };
         if let Some(cache) = cache.as_ref() {
             cache.flush();
@@ -193,9 +251,11 @@ impl SweepEngine {
         if let (Some(cache), Some(max_bytes)) = (cache, CacheMode::max_bytes_from_env()) {
             let outcome = cache.gc(max_bytes);
             if outcome.evicted > 0 {
-                eprintln!(
-                    "sweep cache gc: evicted {} entries ({} bytes) to fit {} bytes",
-                    outcome.evicted, outcome.evicted_bytes, max_bytes
+                dsmt_obs::warn!(
+                    "sweep.gc_evicted",
+                    evicted = outcome.evicted,
+                    evicted_bytes = outcome.evicted_bytes,
+                    max_bytes = max_bytes
                 );
             }
         }
@@ -227,7 +287,9 @@ fn execute_cell(
             r
         }
     };
-    let perf = CellPerf::new(&results, cell_started.elapsed().as_secs_f64());
+    let elapsed = cell_started.elapsed();
+    dsmt_obs::histogram!("sweep.cell_wall_us").record(elapsed.as_micros() as u64);
+    let perf = CellPerf::new(&results, elapsed.as_secs_f64());
     RunRecord {
         cell: cell.index,
         grid: grid_name.to_string(),

@@ -85,6 +85,10 @@ where
     std::thread::scope(|scope| {
         for me in 0..workers {
             scope.spawn(move || {
+                let started = std::time::Instant::now();
+                let mut busy = std::time::Duration::ZERO;
+                let mut cells = 0u64;
+                let mut steals = 0u64;
                 loop {
                     // Claim the next chunk from my own span: one lock
                     // acquisition hands out up to 1/CHUNK_DIVISOR of what
@@ -102,12 +106,16 @@ where
                         }
                     };
                     if let Some(chunk) = chunk {
+                        dsmt_obs::counter!("sweep.pool.chunks").inc();
+                        let chunk_started = std::time::Instant::now();
                         for i in chunk.lo..chunk.hi {
                             let out = f(i, &items[i]);
                             let mut slot = slab[i].lock().expect("slab slot lock");
                             debug_assert!(slot.is_none(), "cell {i} computed twice");
                             *slot = Some(out);
                         }
+                        busy += chunk_started.elapsed();
+                        cells += chunk.len() as u64;
                         continue;
                     }
                     // Steal the upper half of the largest remaining span,
@@ -141,10 +149,24 @@ where
                         }
                     };
                     if let Some(stolen) = stolen {
+                        steals += 1;
+                        dsmt_obs::counter!("sweep.pool.steals").inc();
                         let mut mine = spans[me].lock().expect("span lock");
                         *mine = stolen;
                     }
                 }
+                let busy_ms = busy.as_millis() as u64;
+                let idle_ms = started.elapsed().saturating_sub(busy).as_millis() as u64;
+                dsmt_obs::counter!("sweep.pool.busy_ms").add(busy_ms);
+                dsmt_obs::counter!("sweep.pool.idle_ms").add(idle_ms);
+                dsmt_obs::debug!(
+                    "sweep.pool.worker_done",
+                    worker = me,
+                    cells = cells,
+                    steals = steals,
+                    busy_ms = busy_ms,
+                    idle_ms = idle_ms
+                );
             });
         }
     });

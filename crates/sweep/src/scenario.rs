@@ -124,7 +124,7 @@ impl Scenario {
         self.config
             .validate()
             .unwrap_or_else(|e| panic!("invalid scenario config: {e}"));
-        match &self.workload {
+        let results = match &self.workload {
             WorkloadSpec::SpecMix { insts_per_program } => {
                 let workload =
                     ThreadWorkload::spec_fp95(self.seed).with_insts_per_program(*insts_per_program);
@@ -147,7 +147,9 @@ impl Scenario {
                 self.run_profile_on_all_threads(&profile)
             }
             WorkloadSpec::Profile { profile } => self.run_profile_on_all_threads(profile),
-        }
+        };
+        results.record_metrics();
+        results
     }
 
     fn run_profile_on_all_threads(&self, profile: &BenchmarkProfile) -> SimResults {

@@ -1,0 +1,195 @@
+//! Sweep-side telemetry glue: the live `--progress` line and the
+//! serde adapters that embed a [`dsmt_obs::Snapshot`] in report JSON.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsmt_obs::{HistogramSnapshot, Snapshot};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A live `N/M cells (pct%) rate cells/s ETA` line, redrawn on stderr a few
+/// times per second by a background ticker thread while sweep workers bump
+/// the shared counter. Rendering goes to stderr so piped/captured stdout
+/// (CSV, JSON) stays clean.
+#[derive(Debug)]
+pub struct ProgressLine {
+    done: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    total: usize,
+    started: Instant,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressLine {
+    /// Starts the ticker for a sweep of `total` cells.
+    #[must_use]
+    pub fn start(total: usize) -> Self {
+        let done = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let handle = {
+            let done = Arc::clone(&done);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    render(done.load(Ordering::Relaxed), total, started.elapsed());
+                    // Short sleeps keep finish() latency low without
+                    // redrawing more often than the 250ms cadence.
+                    for _ in 0..10 {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                }
+            })
+        };
+        ProgressLine {
+            done,
+            stop,
+            total,
+            started,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared completion counter; sweep workers bump it once per cell.
+    #[must_use]
+    pub fn counter(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.done)
+    }
+
+    /// Stops the ticker, draws the final state and terminates the line.
+    pub fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        render(
+            self.done.load(Ordering::Relaxed),
+            self.total,
+            self.started.elapsed(),
+        );
+        eprintln!();
+    }
+}
+
+impl Drop for ProgressLine {
+    fn drop(&mut self) {
+        // finish() already joined; this covers early-drop (panic) paths.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn render(done: usize, total: usize, elapsed: Duration) {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let rate = done as f64 / secs;
+    let pct = if total == 0 {
+        100.0
+    } else {
+        done as f64 * 100.0 / total as f64
+    };
+    let eta = if done == 0 || done >= total {
+        "0s".to_string()
+    } else {
+        format!("{:.0}s", (total - done) as f64 / rate)
+    };
+    eprint!("\r  sweep: {done}/{total} cells ({pct:.0}%)  {rate:.1} cells/s  ETA {eta}   ");
+}
+
+/// Encodes a metrics [`Snapshot`] as a store/report [`Value`]. Histograms
+/// become `{name, count, sum, buckets: [[index, count], …]}` objects so the
+/// JSON stays self-describing.
+#[must_use]
+pub fn snapshot_to_value(snap: &Snapshot) -> Value {
+    Value::Object(vec![
+        ("counters".to_string(), snap.counters.to_value()),
+        ("gauges".to_string(), snap.gauges.to_value()),
+        (
+            "histograms".to_string(),
+            Value::Array(
+                snap.histograms
+                    .iter()
+                    .map(|(name, h)| {
+                        Value::Object(vec![
+                            ("name".to_string(), name.to_value()),
+                            ("count".to_string(), h.count.to_value()),
+                            ("sum".to_string(), h.sum.to_value()),
+                            ("buckets".to_string(), h.buckets.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a [`Snapshot`] produced by [`snapshot_to_value`].
+///
+/// # Errors
+///
+/// A [`DeError`] when the value shape does not match.
+pub fn snapshot_from_value(v: &Value) -> Result<Snapshot, DeError> {
+    let histograms = match v.field("histograms")? {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                Ok((
+                    String::from_value(item.field("name")?)?,
+                    HistogramSnapshot {
+                        count: u64::from_value(item.field("count")?)?,
+                        sum: u64::from_value(item.field("sum")?)?,
+                        buckets: Vec::from_value(item.field("buckets")?)?,
+                    },
+                ))
+            })
+            .collect::<Result<_, DeError>>()?,
+        other => return Err(DeError::msg(format!("expected array, got {other:?}"))),
+    };
+    Ok(Snapshot {
+        counters: Vec::from_value(v.field("counters")?)?,
+        gauges: Vec::from_value(v.field("gauges")?)?,
+        histograms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_value() {
+        let snap = Snapshot {
+            counters: vec![("a.b".to_string(), 7)],
+            gauges: vec![("g".to_string(), -2)],
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 1501,
+                    buckets: vec![(0, 1), (11, 2)],
+                },
+            )],
+        };
+        let back = snapshot_from_value(&snapshot_to_value(&snap)).expect("round trip");
+        assert_eq!(back, snap);
+
+        let empty = Snapshot::default();
+        let back = snapshot_from_value(&snapshot_to_value(&empty)).expect("empty round trip");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn progress_line_counts_to_completion() {
+        let progress = ProgressLine::start(4);
+        let counter = progress.counter();
+        for _ in 0..4 {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        progress.finish();
+    }
+}

@@ -105,3 +105,47 @@ fn merged_reports_preserve_per_grid_telemetry() {
     assert_eq!(merged.cache_misses, 16);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn telemetry_enabled_run_keeps_records_identical_and_trace_parses() {
+    let grid = figure_like_grid(SeedMode::Shared);
+    let baseline = SweepEngine::new(1).without_cache().run(&grid);
+
+    let trace = std::env::temp_dir().join(format!("dsmt-sweep-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    dsmt_obs::init_from_spec(&format!("jsonl:{}", trace.display()));
+    let traced = SweepEngine::new(4)
+        .without_cache()
+        .with_progress()
+        .run(&grid);
+    dsmt_obs::init_from_spec("off");
+
+    // Records — the sweep's identity — are untouched by full tracing,
+    // live progress and metrics collection, down to the serialized bytes.
+    assert_eq!(traced.records, baseline.records);
+    assert_eq!(
+        serde::to_string(&traced.records),
+        serde::to_string(&baseline.records)
+    );
+
+    // An info-enabled run attaches a registry snapshot to the report.
+    let snap = traced.metrics.as_ref().expect("snapshot attached");
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(name, _)| name == "sweep.cells_simulated"));
+
+    // Every trace line is one self-contained JSON object with the
+    // envelope fields, and the run left its `sweep.done` marker.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v: serde::Value = serde::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line ({e}): {line}"));
+        for key in ["ts_ms", "seq", "pid", "level", "event", "fields"] {
+            assert!(v.field(key).is_ok(), "trace line missing `{key}`: {line}");
+        }
+    }
+    assert!(text.lines().any(|l| l.contains("\"sweep.done\"")));
+    let _ = std::fs::remove_file(&trace);
+}

@@ -8,13 +8,15 @@
 //! dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
 //!                [--store DIR | --out-dir DIR] [--workers W]
 //! dsmt shard status <plan.json> [--store DIR | --dir DIR] [--watch SECS]
-//! dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out r.json] [--csv r.csv] [--dsr r.dsr]
-//! dsmt sweep run <grid> [--workers W] [--out r.json] [--csv r.csv] [--dsr r.dsr]
+//! dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--wait SECS]
+//!                  [--out r.json] [--csv r.csv] [--dsr r.dsr]
+//! dsmt sweep run <grid> [--workers W] [--progress] [--out r.json] [--csv r.csv] [--dsr r.dsr]
 //! dsmt sweep ls
 //! dsmt sweep gc [--max-bytes N]
 //! dsmt sweep compact
 //! dsmt sweep migrate [--dir DIR]
 //! dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
+//! dsmt obs report [snapshot.json|report.json] [--json out.json] [--csv out.csv]
 //! ```
 //!
 //! `<grid>` is either a path to a `SweepGrid` JSON file or a built-in name:
@@ -42,6 +44,12 @@
 //! from SIGKILLed hosts without an operator removing lockfiles by hand.
 //! `sweep migrate` converts a v2 cache directory (one JSON file per
 //! scenario) into the v3 `dsmt-store` segment layout.
+//!
+//! Every command honours `DSMT_LOG` (structured tracing: `pretty`,
+//! `jsonl:FILE`, `off`) and `DSMT_METRICS` (dump the metrics registry to a
+//! JSON file on exit); `dsmt obs report` pretty-prints such a dump — or the
+//! live registry, or the `metrics` snapshot embedded in a report JSON — as
+//! JSON or CSV.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -52,7 +60,7 @@ use dsmt_experiments::{
 };
 use dsmt_shard::{
     merge_from, plan, recover, run_shard, shard_file_name, DsrFile, RecoverOptions, ShardManifest,
-    ShardState, ShardStrategy, Transport,
+    ShardState, ShardStrategy, Transport, DEFAULT_HEARTBEAT,
 };
 use dsmt_sweep::{
     export, migrate_v2, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport,
@@ -67,13 +75,14 @@ USAGE:
   dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
                  [--store DIR | --out-dir DIR] [--workers W]
   dsmt shard status <plan.json> [--store DIR | --dir DIR] [--watch SECS]
-  dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
-  dsmt sweep run <grid> [--workers W] [--out report.json] [--csv report.csv] [--dsr report.dsr]
+  dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--wait SECS] [--out report.json] [--csv report.csv] [--dsr merged.dsr]
+  dsmt sweep run <grid> [--workers W] [--progress] [--out report.json] [--csv report.csv] [--dsr report.dsr]
   dsmt sweep ls
   dsmt sweep gc [--max-bytes N]
   dsmt sweep compact
   dsmt sweep migrate [--dir DIR]
   dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
+  dsmt obs report [snapshot.json|report.json] [--json out.json] [--csv out.csv]
 
 TRANSPORTS:
   --store DIR   publish/read shard outputs in a dsmt-store directory (keyed
@@ -92,6 +101,9 @@ ENVIRONMENT:
   DSMT_INSTS                  instructions per cell for built-in figure grids
   DSMT_SWEEP_CACHE            result store dir, or `off`
   DSMT_SWEEP_CACHE_MAX_BYTES  LRU size cap applied after sweeps and by `sweep gc`
+  DSMT_LOG                    structured tracing: off | pretty | jsonl[:FILE]
+                              (unset = warnings only, pretty, on stderr)
+  DSMT_METRICS                write the metrics registry to this JSON file on exit
 ";
 
 fn main() {
@@ -100,6 +112,7 @@ fn main() {
         eprintln!("dsmt: {e}");
         std::process::exit(2);
     }
+    dsmt_obs::dump_to_env_path();
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -107,6 +120,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("shard") => shard_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
+        Some("obs") => obs_cmd(&args[1..]),
         None | Some("help" | "--help" | "-h") => {
             print!("{USAGE}");
             Ok(())
@@ -139,7 +153,7 @@ impl Parsed {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 2] = ["canonical", "missing"];
+const BOOL_FLAGS: [&str; 3] = ["canonical", "missing", "progress"];
 
 fn parse(args: &[String], allowed: &[&str]) -> Result<Parsed, String> {
     let mut parsed = Parsed {
@@ -340,7 +354,10 @@ fn shard_run(args: &[String]) -> Result<(), String> {
                 &manifest,
                 &mut transport,
                 &engine,
-                &RecoverOptions { steal_after },
+                &RecoverOptions {
+                    steal_after,
+                    heartbeat: Some(DEFAULT_HEARTBEAT),
+                },
             )
             .map_err(|e| e.to_string())?;
             let list = |ix: &[usize]| {
@@ -432,16 +449,35 @@ fn shard_status(args: &[String]) -> Result<(), String> {
 }
 
 fn shard_merge(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["store", "dir", "out", "csv", "dsr"])?;
+    let p = parse(args, &["store", "dir", "wait", "out", "csv", "dsr"])?;
     let [plan_path] = p.positional.as_slice() else {
         return Err(
-            "usage: dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--out FILE] \
-             [--csv FILE] [--dsr FILE]"
+            "usage: dsmt shard merge <plan.json> [--store DIR | --dir DIR] [--wait SECS] \
+             [--out FILE] [--csv FILE] [--dsr FILE]"
                 .into(),
         );
     };
     let manifest = ShardManifest::load(plan_path).map_err(|e| e.to_string())?;
     let mut transport = transport_from(&p, "dir")?;
+    // --wait: the `status --watch` polling loop, inlined — block until
+    // every shard has a verified output, then merge in the same process.
+    if let Some(secs) = p.usize_flag("wait")? {
+        loop {
+            let status = transport.status(&manifest);
+            if status.complete() {
+                break;
+            }
+            println!(
+                "waiting for `{}`: {} done, {} claimed, {} missing (poll every {}s)",
+                manifest.grid.name,
+                status.done(),
+                status.claimed(),
+                status.missing(),
+                secs.max(1),
+            );
+            std::thread::sleep(std::time::Duration::from_secs(secs.max(1) as u64));
+        }
+    }
     let report = merge_from(&manifest, &mut transport).map_err(|e| e.to_string())?;
     println!(
         "merged {} shards ({}) -> {} cells of `{}`",
@@ -471,15 +507,20 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn sweep_run(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["workers", "out", "csv", "dsr"])?;
+    let p = parse(args, &["workers", "progress", "out", "csv", "dsr"])?;
     let [grid_spec] = p.positional.as_slice() else {
         return Err(
-            "usage: dsmt sweep run <grid> [--workers W] [--out FILE] [--csv FILE] [--dsr FILE]"
+            "usage: dsmt sweep run <grid> [--workers W] [--progress] [--out FILE] [--csv FILE] \
+             [--dsr FILE]"
                 .into(),
         );
     };
     let grid = resolve_grid(grid_spec)?;
-    let report = engine(p.usize_flag("workers")?).run(&grid);
+    let mut engine = engine(p.usize_flag("workers")?);
+    if p.flag("progress").is_some() {
+        engine = engine.with_progress();
+    }
+    let report = engine.run(&grid);
     println!(
         "`{}`: {} cells ({} cached, {} simulated) in {:.2}s",
         report.grid,
@@ -616,6 +657,95 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
     }
     write_outputs(&report, grid.as_ref(), &p)?;
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// dsmt obs ...
+
+fn obs_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("report") => obs_report(&args[1..]),
+        _ => Err(format!("usage: dsmt obs report ...\n\n{USAGE}")),
+    }
+}
+
+fn obs_report(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["json", "csv"])?;
+    let snap = match p.positional.as_slice() {
+        [] => dsmt_obs::registry().snapshot(),
+        [path] => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            snapshot_from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        _ => {
+            return Err(
+                "usage: dsmt obs report [snapshot.json|report.json] [--json FILE] [--csv FILE]"
+                    .into(),
+            )
+        }
+    };
+    if let Some(out) = p.flag("json") {
+        std::fs::write(out, snap.to_json()).map_err(|e| format!("{out}: {e}"))?;
+        println!("json: {out}");
+    }
+    if let Some(out) = p.flag("csv") {
+        std::fs::write(out, snap.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+        println!("csv: {out}");
+    }
+    if p.flag("json").is_none() && p.flag("csv").is_none() {
+        print!("{}", snap.to_csv());
+    }
+    Ok(())
+}
+
+/// Reads a metrics snapshot out of any of the JSON shapes the toolchain
+/// emits: a `DSMT_METRICS` registry dump, a report JSON carrying an
+/// embedded `metrics` snapshot, or that snapshot value on its own.
+fn snapshot_from_json(text: &str) -> Result<dsmt_obs::Snapshot, String> {
+    let value: serde::Value = serde::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    if let Ok(metrics) = value.field("metrics") {
+        return dsmt_sweep::telemetry::snapshot_from_value(metrics)
+            .map_err(|e| format!("bad `metrics` snapshot: {e}"));
+    }
+    // The embedded-snapshot shape keys counters as [name, value] pairs;
+    // the registry dump keys them as a JSON object. Try pairs first.
+    if let Ok(snap) = dsmt_sweep::telemetry::snapshot_from_value(&value) {
+        return Ok(snap);
+    }
+    snapshot_from_dump(&value)
+}
+
+fn snapshot_from_dump(v: &serde::Value) -> Result<dsmt_obs::Snapshot, String> {
+    use serde::Deserialize;
+    let section = |name: &str| -> Result<Vec<(String, serde::Value)>, String> {
+        match v.field(name) {
+            Ok(serde::Value::Object(entries)) => Ok(entries.clone()),
+            Ok(other) => Err(format!("`{name}` should be a JSON object, got {other:?}")),
+            Err(e) => Err(format!("not a metrics dump: {e}")),
+        }
+    };
+    let mut snap = dsmt_obs::Snapshot::default();
+    for (name, val) in section("counters")? {
+        let n = u64::from_value(&val).map_err(|e| format!("counter `{name}`: {e}"))?;
+        snap.counters.push((name, n));
+    }
+    for (name, val) in section("gauges")? {
+        let n = i64::from_value(&val).map_err(|e| format!("gauge `{name}`: {e}"))?;
+        snap.gauges.push((name, n));
+    }
+    for (name, val) in section("histograms")? {
+        let field = |key: &str| {
+            val.field(key)
+                .map_err(|e| format!("histogram `{name}`: {e}"))
+        };
+        let hist = dsmt_obs::HistogramSnapshot {
+            count: u64::from_value(field("count")?).map_err(|e| e.to_string())?,
+            sum: u64::from_value(field("sum")?).map_err(|e| e.to_string())?,
+            buckets: Vec::from_value(field("buckets")?).map_err(|e| e.to_string())?,
+        };
+        snap.histograms.push((name, hist));
+    }
+    Ok(snap)
 }
 
 fn load_report(path: &str) -> Result<(SweepReport, Option<SweepGrid>), String> {
