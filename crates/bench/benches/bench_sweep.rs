@@ -18,10 +18,18 @@
 //! The snapshot also prices the observability layer: serial throughput is
 //! measured with telemetry hard-off and again with debug-level JSONL
 //! tracing, and the gap lands in `telemetry_overhead_pct`. With
-//! `DSMT_BENCH_STRICT=1` the run additionally gates against the committed
-//! snapshot: disabled-telemetry serial throughput must stay within 1% of
-//! the checked-in `cells_per_sec_serial` (the acceptance bar for "tracing
-//! is free when off").
+//! `DSMT_BENCH_STRICT=1` (the CI bench-smoke configuration) the run
+//! additionally gates:
+//!
+//! * `telemetry_overhead_pct` must stay under 1% — the acceptance bar for
+//!   "tracing is free when off". The off/on samples are interleaved, so
+//!   load drift cancels and a sub-1% bar is enforceable even on a noisy
+//!   host;
+//! * serial throughput must stay within noise — `max(1%, 3 stddev)` — of
+//!   the committed `cells_per_sec_serial`. Run-to-run medians are only
+//!   comparable on the host that produced the snapshot, so this gate binds
+//!   when `host_cpus` matches and degrades to an informational print when
+//!   it does not (CI's coarse 30% cross-machine gate is the arbiter there).
 
 use criterion::{criterion_group, criterion_main, summarize, Criterion, Throughput};
 use dsmt_core::SimConfig;
@@ -41,6 +49,31 @@ fn bench_grid() -> SweepGrid {
     .with_budget(10_000)
 }
 
+/// Stall-heavy single-thread long-miss cells: nearly every busy-phase cycle
+/// falls inside an all-threads-blocked window, so serial throughput here
+/// prices the event wheel's idle-skip (stall fast-forward) path.
+fn stall_grid() -> SweepGrid {
+    SweepGrid::new("bench-stall", SimConfig::paper_single_thread_4wide())
+        .with_workload(WorkloadSpec::spec_mix(3_000))
+        .with_axis(Axis::decoupled(&[true, false]))
+        .with_axis(Axis::l2_latencies(&[256, 512]))
+        .with_budget(10_000)
+}
+
+/// Busy multithreaded cells: four threads share the issue slots, so some
+/// thread is almost always issuable and full-machine skips are rare —
+/// serial throughput here prices the per-cycle wake-list verdict replay
+/// (the busy path) instead of the skip.
+fn busy_grid() -> SweepGrid {
+    SweepGrid::new(
+        "bench-busy",
+        SimConfig::paper_multithreaded(4).with_queue_scaling(true),
+    )
+    .with_workload(WorkloadSpec::spec_mix(3_000))
+    .with_axis(Axis::l2_latencies(&[16, 64]))
+    .with_budget(10_000)
+}
+
 fn quick_mode() -> bool {
     std::env::var("DSMT_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
@@ -49,16 +82,32 @@ fn strict_mode() -> bool {
     std::env::var("DSMT_BENCH_STRICT").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
-fn cells_per_sec(workers: usize, cached_dir: Option<&std::path::Path>) -> f64 {
-    let grid = bench_grid();
+fn grid_cells_per_sec(
+    grid: &SweepGrid,
+    workers: usize,
+    cached_dir: Option<&std::path::Path>,
+) -> f64 {
     let engine = match cached_dir {
         Some(dir) => SweepEngine::new(workers).with_cache_dir(dir),
         None => SweepEngine::new(workers).without_cache(),
     };
     let start = Instant::now();
-    let report = engine.run(&grid);
+    let report = engine.run(grid);
     let secs = start.elapsed().as_secs_f64();
     report.records.len() as f64 / secs.max(1e-9)
+}
+
+fn cells_per_sec(workers: usize, cached_dir: Option<&std::path::Path>) -> f64 {
+    grid_cells_per_sec(&bench_grid(), workers, cached_dir)
+}
+
+/// Samples serial throughput of `grid` repeatedly and summarises the
+/// distribution.
+fn sample_grid_serial(grid: &SweepGrid, samples: usize) -> criterion::Summary {
+    let runs: Vec<f64> = (0..samples)
+        .map(|_| grid_cells_per_sec(grid, 1, None))
+        .collect();
+    summarize(&runs)
 }
 
 /// Samples `cells_per_sec` repeatedly and summarises the distribution.
@@ -110,6 +159,12 @@ fn write_snapshot() {
     let traced = summarize(&on_runs);
     let telemetry_overhead_pct = (1.0 - traced.median_ns / serial.median_ns.max(1e-9)) * 100.0;
 
+    // The two event-driven-core price points, serially, telemetry off:
+    // the stall grid spends its cycles in skip windows (idle-skip path),
+    // the busy grid in wake-list verdict replay (busy path).
+    let stall = sample_grid_serial(&stall_grid(), samples);
+    let busy = sample_grid_serial(&busy_grid(), samples);
+
     let parallel = sample_cells_per_sec(parallel_workers, None, samples);
 
     let cache_dir = std::env::temp_dir().join(format!("dsmt-bench-cache-{}", std::process::id()));
@@ -136,6 +191,18 @@ fn write_snapshot() {
         (
             "cells_per_sec_serial_stddev".to_string(),
             f(serial.stddev_ns),
+        ),
+        ("stall_grid_cells".to_string(), u(stall_grid().len())),
+        ("cells_per_sec_serial_stall".to_string(), f(stall.median_ns)),
+        (
+            "cells_per_sec_serial_stall_stddev".to_string(),
+            f(stall.stddev_ns),
+        ),
+        ("busy_grid_cells".to_string(), u(busy_grid().len())),
+        ("cells_per_sec_serial_busy".to_string(), f(busy.median_ns)),
+        (
+            "cells_per_sec_serial_busy_stddev".to_string(),
+            f(busy.stddev_ns),
         ),
         ("cells_per_sec_parallel".to_string(), f(parallel.median_ns)),
         (
@@ -164,14 +231,9 @@ fn write_snapshot() {
     // Anchor the snapshot at the workspace root regardless of bench cwd.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
     // The committed baseline, read before we overwrite it (strict gate).
-    let committed_serial = std::fs::read_to_string(&path)
+    let committed = std::fs::read_to_string(&path)
         .ok()
-        .and_then(|t| serde::from_str::<serde::Value>(&t).ok())
-        .and_then(|v| {
-            v.field("cells_per_sec_serial")
-                .and_then(serde::Value::as_f64)
-                .ok()
-        });
+        .and_then(|t| serde::from_str::<serde::Value>(&t).ok());
     if let Err(e) = std::fs::write(&path, &text) {
         eprintln!("warn: cannot write {}: {e}", path.display());
     }
@@ -198,18 +260,46 @@ fn write_snapshot() {
         traced.median_ns,
         serial.median_ns
     );
-    // Strict gate (CI perf job): disabled telemetry must cost < 1% against
-    // the committed snapshot. Off by default because a loaded laptop
-    // produces >1% noise run-to-run.
+    // Strict gates (CI bench-smoke sets DSMT_BENCH_STRICT=1): see the
+    // module docs. Off by default because a loaded laptop produces noise
+    // beyond even these allowances run-to-run.
     if strict_mode() {
-        let committed = committed_serial.expect("strict mode needs a committed BENCH_sweep.json");
-        let regression_pct = (1.0 - serial.median_ns / committed) * 100.0;
         assert!(
-            regression_pct < 1.0,
-            "disabled-telemetry serial throughput regressed {regression_pct:.2}% \
-             vs committed snapshot ({:.1} now vs {committed:.1} committed cells/s)",
-            serial.median_ns
+            telemetry_overhead_pct < 1.0,
+            "telemetry overhead {telemetry_overhead_pct:.2}% breaches the <1% \
+             tracing-is-free-when-off bar ({:.1} off vs {:.1} traced cells/s)",
+            serial.median_ns,
+            traced.median_ns
         );
+        let committed = committed.expect("strict mode needs a committed BENCH_sweep.json");
+        let field = |name: &str| {
+            committed
+                .field(name)
+                .and_then(serde::Value::as_f64)
+                .unwrap_or_else(|_| panic!("committed BENCH_sweep.json lacks {name}"))
+        };
+        let committed_serial = field("cells_per_sec_serial");
+        let committed_cpus = field("host_cpus") as usize;
+        // Tell drift from noise: the snapshot records its own spread, and
+        // a median can honestly land 3 stddev out.
+        let slack_pct = (300.0 * field("cells_per_sec_serial_stddev") / committed_serial).max(1.0);
+        let regression_pct = (1.0 - serial.median_ns / committed_serial) * 100.0;
+        if committed_cpus == host_cpus {
+            assert!(
+                regression_pct < slack_pct,
+                "serial throughput regressed {regression_pct:.2}% vs committed snapshot \
+                 ({:.1} now vs {committed_serial:.1} committed cells/s), beyond the \
+                 {slack_pct:.1}% noise allowance",
+                serial.median_ns
+            );
+        } else {
+            println!(
+                "strict: committed snapshot is from a {committed_cpus}-CPU host (this host: \
+                 {host_cpus}); serial comparison is informational: {:.1} now vs \
+                 {committed_serial:.1} committed cells/s",
+                serial.median_ns
+            );
+        }
     }
 }
 
@@ -241,6 +331,34 @@ fn bench_sweep(c: &mut Criterion) {
         });
     });
     group.finish();
+
+    // The event-driven core's two price points as their own group (cell
+    // counts differ from the main grid, so they carry their own throughput).
+    let mut paths = c.benchmark_group("sweep_engine_paths");
+    paths
+        .sample_size(if quick { 2 } else { 5 })
+        .warm_up_time(Duration::from_millis(if quick { 50 } else { 300 }))
+        .measurement_time(Duration::from_secs(if quick { 1 } else { 3 }))
+        .throughput(Throughput::Elements(stall_grid().len() as u64));
+    paths.bench_function("grid_stall_serial", |b| {
+        b.iter(|| {
+            SweepEngine::new(1)
+                .without_cache()
+                .run(&stall_grid())
+                .records
+                .len()
+        });
+    });
+    paths.bench_function("grid_busy_serial", |b| {
+        b.iter(|| {
+            SweepEngine::new(1)
+                .without_cache()
+                .run(&busy_grid())
+                .records
+                .len()
+        });
+    });
+    paths.finish();
 
     write_snapshot();
 }

@@ -48,5 +48,5 @@ mod stats;
 mod thread;
 
 pub use config::{FetchPolicy, SimConfig};
-pub use processor::Processor;
+pub use processor::{CorePerf, Processor};
 pub use stats::{PerceivedLatency, SimResults, SlotUse, UnitSlots};

@@ -4,26 +4,87 @@
 //! live in a fixed [`EventWheel`], windows and the ROB are ring buffers,
 //! and the issue/fetch stages reuse scratch buffers owned by the
 //! [`Processor`] instead of collecting fresh `Vec`s every cycle.
+//!
+//! Head scheduling is event-driven: when a window head is proven blocked
+//! until a known cycle, the verdict is parked on a per-thread, per-side
+//! [`WakeList`] keyed by the blocking operand's ready cycle. Until the
+//! wake fires, the issue stage replays the verdict in O(1) instead of
+//! re-reading register files, and the stall fast-forward reuses the same
+//! recorded verdicts (plus the wheel's next-due bound) to jump fully
+//! blocked windows. Both paths are bit-identical to naive per-cycle
+//! re-probing — pinned by `golden_stats.rs` and the differential proptests
+//! against [`Processor::set_reference_model`].
 
 use dsmt_isa::{steer, OpClass, RegClass, Unit};
 use dsmt_mem::{AccessKind, AccessResponse, MemorySystem};
 use dsmt_trace::{ThreadWorkload, TraceSource};
-use dsmt_uarch::{icount_pick_into, round_robin_pick_into, EventWheel, FuPool, RoundRobin};
+use dsmt_uarch::{
+    icount_pick_into, round_robin_pick_into, EventWheel, FuPool, RoundRobin, WakeList,
+};
 
 use crate::thread::{
     DestOperand, FetchedInst, InflightInst, RobPayload, SaqEntry, SrcOperand, ThreadContext,
 };
 use crate::{PerceivedLatency, SimConfig, SimResults, SlotUse, UnitSlots};
 
-/// Thread-count ceiling for the stall fast-forward path (a stack array
-/// bounds the per-rotation attribution replay); larger machines simply
-/// step cycle by cycle.
-const MAX_FF_THREADS: usize = 64;
+/// The payload a [`WakeList`] verdict replays for a blocked head: the
+/// issue-slot classification and the perceived-latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockedCause {
+    kind: SlotUse,
+    /// `Some` when the blocking operand comes from a load that missed —
+    /// the register class drives the perceived-latency metric.
+    miss_class: Option<RegClass>,
+}
 
-/// A blocked-head verdict collected by the fast-forward scan: the stall
-/// classification and perceived-latency class to replay per skipped cycle,
-/// or `None` for an empty window.
-type BlockedVerdict = Option<(SlotUse, Option<RegClass>)>;
+/// Scheduler-throughput counters, deliberately separate from
+/// [`SimResults`] (whose serialized layout is pinned by golden `.dsr`
+/// fixtures): how much per-cycle work the event-driven core avoided.
+/// Folded into the metrics registry post-run by
+/// [`record_metrics`](CorePerf::record_metrics) — the hot loop never
+/// touches an atomic.
+#[derive(Debug, Clone)]
+pub struct CorePerf {
+    /// Cycles the stall fast-forward skipped instead of stepping (the
+    /// idle-skip path; zero means every cycle was stepped).
+    pub busy_cycles_skipped: u64,
+    /// Number of contiguous skip windows taken.
+    pub skip_windows: u64,
+    /// Log2-bucketed wake-list depth (pending wake tokens), sampled each
+    /// time a blocked-head verdict is recorded.
+    wake_depth_buckets: [u64; dsmt_obs::metrics::HISTOGRAM_BUCKETS],
+}
+
+impl Default for CorePerf {
+    fn default() -> Self {
+        CorePerf {
+            busy_cycles_skipped: 0,
+            skip_windows: 0,
+            wake_depth_buckets: [0; dsmt_obs::metrics::HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl CorePerf {
+    #[inline]
+    fn sample_wake_depth(&mut self, depth: usize) {
+        self.wake_depth_buckets[dsmt_obs::metrics::bucket_index(depth as u64)] += 1;
+    }
+
+    /// Folds these counters into the process-wide metrics registry
+    /// (`core.busy_cycles_skipped`, `core.skip_windows`, and the
+    /// `core.wake_list_depth` histogram).
+    pub fn record_metrics(&self) {
+        dsmt_obs::counter!("core.busy_cycles_skipped").add(self.busy_cycles_skipped);
+        dsmt_obs::counter!("core.skip_windows").add(self.skip_windows);
+        let depth = dsmt_obs::histogram!("core.wake_list_depth");
+        for (i, &n) in self.wake_depth_buckets.iter().enumerate() {
+            if n > 0 {
+                depth.record_n(dsmt_obs::metrics::bucket_bounds(i).0, n);
+            }
+        }
+    }
+}
 
 /// A deferred "instruction finishes executing" event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +142,13 @@ pub struct Processor {
     arbiter: RoundRobin,
     cycle: u64,
     completions: EventWheel<CompletionEvent>,
+    /// Per-thread, per-side blocked-head verdicts with wheel-driven expiry
+    /// (side 0 = AP window, side 1 = EP instruction queue).
+    wakes: WakeList<BlockedCause>,
+    /// When set, disables the wake list and the stall fast-forward: every
+    /// head is re-probed every cycle. Differential-testing aid only.
+    reference_model: bool,
+    perf: CorePerf,
     ap_slots: UnitSlots,
     ep_slots: UnitSlots,
     perceived: PerceivedLatency,
@@ -106,9 +174,8 @@ struct Scratch {
     eligible: Vec<bool>,
     /// Threads selected to fetch this cycle (fetch stage).
     picks: Vec<usize>,
-    /// Fast-forward: per-thread blocked-head verdicts for the AP (index 0)
-    /// and EP (index 1), `None` for an empty window.
-    ff_blocked: [Vec<BlockedVerdict>; 2],
+    /// Fast-forward replay: blocked-head kinds in rotation order.
+    kinds: Vec<SlotUse>,
 }
 
 impl std::fmt::Debug for Processor {
@@ -157,6 +224,9 @@ impl Processor {
             ep_fus: FuPool::new(config.ep_units, config.ep_latency, true),
             mem: MemorySystem::new(mem_cfg),
             arbiter: RoundRobin::new(config.num_threads),
+            wakes: WakeList::new(config.num_threads, horizon),
+            reference_model: false,
+            perf: CorePerf::default(),
             threads,
             cycle: 0,
             completions: EventWheel::with_horizon(horizon),
@@ -225,10 +295,27 @@ impl Processor {
         self.threads.iter().all(ThreadContext::drained)
     }
 
+    /// Scheduler-throughput counters accumulated so far (cycles skipped,
+    /// wake-list depth). Not part of [`SimResults`]; see [`CorePerf`].
+    #[must_use]
+    pub fn perf(&self) -> &CorePerf {
+        &self.perf
+    }
+
+    /// Switches to the naive reference scheduler: every window head is
+    /// re-probed every cycle and stall windows are stepped cycle by cycle
+    /// (no wake-list replay, no fast-forward). Statistics must stay
+    /// bit-identical to the event-driven default — differential tests pin
+    /// this.
+    pub fn set_reference_model(&mut self, enabled: bool) {
+        self.reference_model = enabled;
+    }
+
     /// Simulates one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
         self.mem.begin_cycle(cycle);
+        self.wakes.begin_cycle(cycle);
         self.process_completions(cycle);
         self.retire();
         let mut order = std::mem::take(&mut self.scratch.order);
@@ -244,10 +331,7 @@ impl Processor {
     /// Runs until `max_instructions` have graduated (or every trace has
     /// drained) and returns the accumulated results.
     pub fn run(&mut self, max_instructions: u64) -> SimResults {
-        // Safety valve: even a pathologically stalled configuration retires
-        // at least one instruction every few hundred cycles; the cap only
-        // guards against modelling bugs.
-        let cycle_cap = self.cycle + max_instructions.saturating_mul(64) + 100_000;
+        let cycle_cap = self.run_cap(max_instructions);
         while self.total_retired() < max_instructions
             && self.cycle < cycle_cap
             && !self.all_drained()
@@ -255,6 +339,37 @@ impl Processor {
             self.advance(cycle_cap - self.cycle);
         }
         self.results()
+    }
+
+    /// The safety-valve cycle cap a `run(max_instructions)` started now
+    /// would use: even a pathologically stalled configuration retires at
+    /// least one instruction every few hundred cycles, so the cap only
+    /// guards against modelling bugs. Precompute it once when driving a
+    /// sliced run via [`run_quantum`](Self::run_quantum).
+    #[must_use]
+    pub fn run_cap(&self, max_instructions: u64) -> u64 {
+        self.cycle + max_instructions.saturating_mul(64) + 100_000
+    }
+
+    /// One quantum of a sliced run: advances exactly as
+    /// `run(max_instructions)` would, but yields after at most `quantum`
+    /// additional cycles so a driver can interleave several independent
+    /// processors (the sweep layer's batched-cell drive loop). `cycle_cap`
+    /// must be the value [`run_cap`](Self::run_cap) returned before the
+    /// first quantum. Returns `true` once the run condition is met (budget
+    /// retired, all traces drained, or cap hit). Accumulated statistics
+    /// are bit-identical to a single `run` call: a stall skip clipped at a
+    /// quantum boundary replays its per-cycle accounting additively, so
+    /// splitting a window changes nothing.
+    pub fn run_quantum(&mut self, max_instructions: u64, cycle_cap: u64, quantum: u64) -> bool {
+        let slice_end = cycle_cap.min(self.cycle.saturating_add(quantum));
+        while self.total_retired() < max_instructions
+            && self.cycle < slice_end
+            && !self.all_drained()
+        {
+            self.advance(slice_end - self.cycle);
+        }
+        self.total_retired() >= max_instructions || self.cycle >= cycle_cap || self.all_drained()
     }
 
     /// Runs for exactly `cycles` additional cycles.
@@ -296,6 +411,12 @@ impl Processor {
     /// * every non-empty window head is blocked with an exactly known
     ///   wake-up cycle (the blocking operand's recorded ready cycle).
     ///
+    /// Head verdicts come from the wake list: verdicts the issue stage
+    /// already recorded are reused without touching the register files,
+    /// and any head probed fresh here is recorded for the issue stage in
+    /// turn. The skip target is the earliest of the verdict wake-ups and
+    /// the completion wheel's next due event.
+    ///
     /// On success it replays the per-cycle bookkeeping those `n` steps
     /// would have performed — issue-slot attribution (rotation-exact),
     /// perceived-latency stalls, arbiter rotation — and jumps the clock.
@@ -303,76 +424,76 @@ impl Processor {
     fn try_fast_forward(&mut self, max_cycles: u64) -> Option<u64> {
         let cycle = self.cycle;
         let max_unresolved = self.config.max_unresolved_branches;
-        if self.threads.len() > MAX_FF_THREADS {
+        if self.reference_model {
             return None;
         }
         // Exclusive upper bound on the cycles we may skip.
         let mut wake = cycle.checked_add(max_cycles)?;
 
-        let mut ff_blocked = std::mem::take(&mut self.scratch.ff_blocked);
-        for side in &mut ff_blocked {
-            side.clear();
-        }
-        for thread in &self.threads {
-            if thread.fetch_eligible(max_unresolved) {
-                self.scratch.ff_blocked = ff_blocked;
-                return None;
-            }
-            if thread.rob.head_completed() {
-                self.scratch.ff_blocked = ff_blocked;
-                return None;
-            }
-            if let Some(fetched) = thread.fetch_buffer.front() {
-                let inst = fetched.inst;
-                let unit = steer(inst.op);
-                let dispatch_blocked = thread.rob.is_full()
-                    || thread.window(unit).is_full()
-                    || (inst.op.is_store() && thread.saq.is_full())
-                    || inst
-                        .real_dest()
-                        .is_some_and(|d| !thread.regs(d.class()).can_rename());
-                if !dispatch_blocked {
-                    self.scratch.ff_blocked = ff_blocked;
+        let n_threads = self.threads.len();
+        for t in 0..n_threads {
+            {
+                let thread = &self.threads[t];
+                if thread.fetch_eligible(max_unresolved) {
                     return None;
+                }
+                if thread.rob.head_completed() {
+                    return None;
+                }
+                if let Some(fetched) = thread.fetch_buffer.front() {
+                    let inst = fetched.inst;
+                    let unit = steer(inst.op);
+                    let dispatch_blocked = thread.rob.is_full()
+                        || thread.window(unit).is_full()
+                        || (inst.op.is_store() && thread.saq.is_full())
+                        || inst
+                            .real_dest()
+                            .is_some_and(|d| !thread.regs(d.class()).can_rename());
+                    if !dispatch_blocked {
+                        return None;
+                    }
                 }
             }
             for (side, unit) in [(0usize, Unit::Ap), (1usize, Unit::Ep)] {
-                let verdict = match thread.window(unit).front() {
-                    None => None,
-                    Some(head) => {
-                        let cached = match thread.head_block(unit) {
-                            Some(hb) if hb.seq == head.seq && cycle < hb.until => {
-                                Some((hb.kind, hb.miss_class, hb.until))
-                            }
-                            _ => match probe_head(thread, head, cycle) {
-                                HeadProbe::Blocked {
-                                    kind,
-                                    miss_class,
-                                    until: Some(u),
-                                } => Some((kind, miss_class, u)),
-                                // Ready, or blocked without a known bound.
-                                _ => {
-                                    self.scratch.ff_blocked = ff_blocked;
-                                    return None;
-                                }
-                            },
-                        };
-                        let (kind, miss_class, until) = cached.expect("verdict present");
-                        wake = wake.min(until);
-                        Some((kind, miss_class))
+                // Reuse the recorded verdict, or probe and record so the
+                // issue stage replays it after the skip lands.
+                let (until, fresh) = {
+                    let thread = &self.threads[t];
+                    let Some(head) = thread.window(unit).front() else {
+                        continue;
+                    };
+                    if let Some((seq, until, _)) = self.wakes.blocked(t, side) {
+                        debug_assert_eq!(seq, head.seq, "wake list tracks a stale head");
+                        (until, None)
+                    } else {
+                        match probe_head(thread, head, cycle) {
+                            HeadProbe::Blocked {
+                                kind,
+                                miss_class,
+                                until: Some(u),
+                            } => (u, Some((head.seq, BlockedCause { kind, miss_class }))),
+                            // Ready, or blocked without a known bound.
+                            _ => return None,
+                        }
                     }
                 };
-                ff_blocked[side].push(verdict);
+                if let Some((seq, cause)) = fresh {
+                    self.wakes.record_blocked(t, side, seq, until, cause);
+                    self.perf.sample_wake_depth(self.wakes.pending());
+                }
+                wake = wake.min(until);
             }
         }
 
-        // Completion events bound the window too.
+        // Completion events bound the window too. The wake wheel cannot:
+        // every parked token belongs to a live verdict whose `until`
+        // already bounds `wake` (heads only leave a window via issue, which
+        // requires the probe state), so nothing on it fires earlier.
         if let Some(due) = self.completions.next_due_before(wake) {
             wake = due;
         }
         let skip = wake.saturating_sub(cycle);
         if skip < 2 {
-            self.scratch.ff_blocked = ff_blocked;
             return None;
         }
 
@@ -380,16 +501,19 @@ impl Processor {
         // attribution rotates with the round-robin ordering; rotation r is
         // used ceil/floor(skip / n) times depending on its offset from the
         // current start.
-        let n_threads = self.threads.len();
         let start = self.arbiter.next_start();
+        let mut kinds = std::mem::take(&mut self.scratch.kinds);
         for (side, slots_total) in [(0usize, self.config.ap_units), (1, self.config.ep_units)] {
-            let entries = &ff_blocked[side];
             let slots = if side == 0 {
                 &mut self.ap_slots
             } else {
                 &mut self.ep_slots
             };
-            let blocked_count = entries.iter().flatten().count();
+            // Every blocked head carries a wake-list verdict here (empty
+            // windows carry none), so the wake list *is* the entry table.
+            let blocked_count = (0..n_threads)
+                .filter(|&i| self.wakes.blocked(i, side).is_some())
+                .count();
             if blocked_count == 0 {
                 slots.record_n(SlotUse::WrongPathOrIdle, slots_total as u64 * skip);
                 continue;
@@ -405,34 +529,37 @@ impl Processor {
                 let first = (start + rot) % n_threads;
                 // The blocked list in thread-priority order for this
                 // rotation; wasted slots round-robin over it.
-                let mut blocked_kinds = [SlotUse::Other; MAX_FF_THREADS];
-                let mut len = 0usize;
+                kinds.clear();
                 for i in 0..n_threads {
-                    if let Some((kind, _)) = entries[(first + i) % n_threads] {
-                        blocked_kinds[len] = kind;
-                        len += 1;
+                    if let Some((_, _, cause)) = self.wakes.blocked((first + i) % n_threads, side) {
+                        kinds.push(cause.kind);
                     }
                 }
-                debug_assert_eq!(len, blocked_count);
+                debug_assert_eq!(kinds.len(), blocked_count);
                 for slot in 0..slots_total {
-                    slots.record_n(blocked_kinds[slot % len], uses);
+                    slots.record_n(kinds[slot % kinds.len()], uses);
                 }
             }
             // Perceived-latency stalls accrue once per blocked head per
             // cycle, independent of rotation.
-            for &(_, miss_class) in entries.iter().flatten() {
-                match miss_class {
-                    Some(RegClass::Fp) => self.perceived.fp_stall_cycles += skip,
-                    Some(RegClass::Int) => self.perceived.int_stall_cycles += skip,
-                    None => {}
+            for i in 0..n_threads {
+                if let Some((_, _, cause)) = self.wakes.blocked(i, side) {
+                    match cause.miss_class {
+                        Some(RegClass::Fp) => self.perceived.fp_stall_cycles += skip,
+                        Some(RegClass::Int) => self.perceived.int_stall_cycles += skip,
+                        None => {}
+                    }
                 }
             }
         }
+        self.scratch.kinds = kinds;
 
         self.arbiter.advance(skip);
         self.completions.skip_to(wake);
+        self.wakes.skip_to(wake);
         self.cycle = wake;
-        self.scratch.ff_blocked = ff_blocked;
+        self.perf.busy_cycles_skipped += skip;
+        self.perf.skip_windows += 1;
         Some(skip)
     }
 
@@ -536,31 +663,39 @@ impl Processor {
         let mut blocked = std::mem::take(&mut self.scratch.blocked);
         blocked.clear();
 
+        let side = match unit {
+            Unit::Ap => 0usize,
+            Unit::Ep => 1usize,
+        };
         'threads: for &t in order {
             loop {
                 if used >= slots_total {
                     break 'threads;
                 }
+                // O(1) replay: a recorded verdict still live this cycle
+                // (the wake would have fired otherwise) means the head is
+                // provably blocked — no register-file reads.
+                if !self.reference_model {
+                    if let Some((seq, _, cause)) = self.wakes.blocked(t, side) {
+                        debug_assert_eq!(
+                            self.threads[t].window(unit).front().map(|h| h.seq),
+                            Some(seq),
+                            "wake list tracks a stale head"
+                        );
+                        match cause.miss_class {
+                            Some(RegClass::Fp) => self.perceived.fp_stall_cycles += 1,
+                            Some(RegClass::Int) => self.perceived.int_stall_cycles += 1,
+                            None => {}
+                        }
+                        blocked.push(cause.kind);
+                        break;
+                    }
+                }
                 let (probe, head_seq) = {
                     let thread = &self.threads[t];
                     match thread.window(unit).front() {
                         None => break,
-                        Some(head) => {
-                            // Replay a cached stall verdict when the same
-                            // head is still provably blocked, skipping the
-                            // register-file reads; otherwise probe afresh.
-                            let probe = match thread.head_block(unit) {
-                                Some(hb) if hb.seq == head.seq && cycle < hb.until => {
-                                    HeadProbe::Blocked {
-                                        kind: hb.kind,
-                                        miss_class: hb.miss_class,
-                                        until: Some(hb.until),
-                                    }
-                                }
-                                _ => probe_head(thread, head, cycle),
-                            };
-                            (probe, head.seq)
-                        }
+                        Some(head) => (probe_head(thread, head, cycle), head.seq),
                     }
                 };
                 match probe {
@@ -576,17 +711,21 @@ impl Processor {
                         miss_class,
                         until,
                     } => {
-                        // Remember the verdict when it stays valid beyond
-                        // the next cycle (a one-cycle bound re-probes
-                        // anyway).
-                        *self.threads[t].head_block_mut(unit) = until
-                            .filter(|&u| u > cycle + 1)
-                            .map(|u| crate::thread::HeadBlock {
-                                seq: head_seq,
-                                until: u,
-                                kind,
-                                miss_class,
-                            });
+                        // Park the verdict on the wake list when the bound
+                        // is known; the wheel re-arms the probe at exactly
+                        // `until`.
+                        if !self.reference_model {
+                            if let Some(u) = until {
+                                self.wakes.record_blocked(
+                                    t,
+                                    side,
+                                    head_seq,
+                                    u,
+                                    BlockedCause { kind, miss_class },
+                                );
+                                self.perf.sample_wake_depth(self.wakes.pending());
+                            }
+                        }
                         // Perceived-latency accounting: the head cannot issue
                         // although an issue slot is free, because it waits on
                         // data from a load that missed.

@@ -75,23 +75,6 @@ pub(crate) struct FetchedInst {
     pub inst: Instruction,
 }
 
-/// A memoised "this window head cannot issue" verdict, valid for every
-/// cycle strictly before `until` while the same head (identified by its
-/// sequence number) is in place. Lets the issue stage replay the stall
-/// bookkeeping for long-blocked heads (e.g. an L2 miss consumer) without
-/// re-reading register files every cycle.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct HeadBlock {
-    /// Sequence number of the head instruction this verdict describes.
-    pub seq: u64,
-    /// Valid for cycles `< until`; re-probe from `until` on.
-    pub until: u64,
-    /// The stall classification to replay.
-    pub kind: crate::SlotUse,
-    /// The perceived-latency class to replay (missed-load operands only).
-    pub miss_class: Option<RegClass>,
-}
-
 /// Per-physical-register producer metadata used for stall classification
 /// and the perceived-latency metric.
 #[derive(Debug, Clone, Default)]
@@ -145,10 +128,6 @@ pub(crate) struct ThreadContext {
     pub iq: BoundedQueue<InflightInst>,
     /// The store address queue.
     pub saq: BoundedQueue<SaqEntry>,
-    /// Cached stall verdicts for the AP window / IQ heads (see
-    /// [`HeadBlock`]).
-    pub ap_head_block: Option<HeadBlock>,
-    pub iq_head_block: Option<HeadBlock>,
     pub rob: Rob<RobPayload>,
     pub predictor: BranchPredictor,
     /// Next program-order sequence number to assign at fetch.
@@ -196,8 +175,6 @@ impl ThreadContext {
             ap_window: BoundedQueue::new(config.effective_ap_window_capacity()),
             iq: BoundedQueue::new(config.effective_iq_capacity()),
             saq: BoundedQueue::new(config.effective_saq_capacity()),
-            ap_head_block: None,
-            iq_head_block: None,
             rob: Rob::new(config.effective_rob_capacity()),
             predictor: BranchPredictor::new(config.bht_entries),
             next_seq: 0,
@@ -221,22 +198,6 @@ impl ThreadContext {
         match unit {
             Unit::Ap => &mut self.ap_window,
             Unit::Ep => &mut self.iq,
-        }
-    }
-
-    /// The cached head-stall verdict for the given unit.
-    pub fn head_block(&self, unit: Unit) -> Option<HeadBlock> {
-        match unit {
-            Unit::Ap => self.ap_head_block,
-            Unit::Ep => self.iq_head_block,
-        }
-    }
-
-    /// The cached head-stall verdict for the given unit (mutable).
-    pub fn head_block_mut(&mut self, unit: Unit) -> &mut Option<HeadBlock> {
-        match unit {
-            Unit::Ap => &mut self.ap_head_block,
-            Unit::Ep => &mut self.iq_head_block,
         }
     }
 

@@ -54,7 +54,10 @@ pub use dsmt_sweep::{
     Axis, RunRecord, Scenario, Setting, SweepEngine, SweepGrid, SweepReport, WorkloadSpec,
 };
 pub use report::Table;
-pub use runner::{maybe_run_shard, parallel_map, parse_shard_selector, ExperimentParams};
+pub use runner::{
+    maybe_run_shard, parallel_map, parse_shard_selector, plan_file_name, run_shard_grids,
+    ExperimentParams, ShardedGridRun,
+};
 
 /// The L2 latencies swept by the paper (Figures 1 and 4).
 pub const L2_LATENCIES: [u64; 6] = [1, 16, 32, 64, 128, 256];

@@ -83,6 +83,16 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` observations of the same value at once — used when a
+    /// component accumulates its own bucket counts during a run and folds
+    /// them into the registry afterwards (e.g. the core's wake-list depth
+    /// samples).
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of observations so far.
     #[must_use]
     pub fn count(&self) -> u64 {

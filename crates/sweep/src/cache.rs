@@ -264,18 +264,35 @@ impl ResultCache {
     /// miss executes and stores. Counters update accordingly.
     #[must_use]
     pub fn run_cached(&self, scenario: &Scenario, stats: &CacheStats) -> SimResults {
-        if let Some(results) = self.lookup(scenario) {
-            stats.hits.fetch_add(1, Ordering::Relaxed);
-            dsmt_obs::counter!("sweep.cells_cache_hit").inc();
-            dsmt_obs::debug!("sweep.cache.hit", key = scenario.cache_key_hex());
+        if let Some(results) = self.try_hit(scenario, stats) {
             return results;
         }
         let results = scenario.execute();
-        self.store(scenario, &results);
+        self.publish_miss(scenario, &results, stats);
+        results
+    }
+
+    /// The hit half of [`run_cached`](Self::run_cached): answers `scenario`
+    /// from the cache with full hit bookkeeping, or returns `None` without
+    /// touching any counter. The batched-cell drive loop uses this and
+    /// [`publish_miss`](Self::publish_miss) so several simulations can be
+    /// interleaved between the lookup and the store.
+    #[must_use]
+    pub fn try_hit(&self, scenario: &Scenario, stats: &CacheStats) -> Option<SimResults> {
+        let results = self.lookup(scenario)?;
+        stats.hits.fetch_add(1, Ordering::Relaxed);
+        dsmt_obs::counter!("sweep.cells_cache_hit").inc();
+        dsmt_obs::debug!("sweep.cache.hit", key = scenario.cache_key_hex());
+        Some(results)
+    }
+
+    /// The miss half of [`run_cached`](Self::run_cached): stores a result
+    /// the caller simulated itself, with full miss bookkeeping.
+    pub fn publish_miss(&self, scenario: &Scenario, results: &SimResults, stats: &CacheStats) {
+        self.store(scenario, results);
         stats.misses.fetch_add(1, Ordering::Relaxed);
         dsmt_obs::counter!("sweep.cells_simulated").inc();
         dsmt_obs::debug!("sweep.cache.miss", key = scenario.cache_key_hex());
-        results
     }
 
     /// Number of distinct cached scenarios (published + pending).

@@ -1,15 +1,18 @@
-//! The sweep engine: grid → cells → pool (→ cache) → report.
+//! The sweep engine: grid → cells → pool (→ batched drive, → cache) → report.
 
 use std::time::Instant;
 
 use crate::cache::{CacheMode, CacheStats, ResultCache};
-use crate::{pool, CellPerf, RunRecord, SweepGrid, SweepReport};
+use crate::{batch, pool, CellPerf, RunRecord, SweepGrid, SweepReport};
 
 /// Executes [`SweepGrid`]s on a work-stealing pool with optional caching.
 #[derive(Debug)]
 pub struct SweepEngine {
     /// Maximum concurrent cells.
     pub workers: usize,
+    /// Cells driven interleaved per worker pass (the batched-cell drive
+    /// loop, see [`crate::batch`]); 1 runs each cell to completion alone.
+    pub batch: usize,
     /// Cache policy.
     pub cache: CacheMode,
     /// Render a live `cells/s + ETA` progress line on stderr while running
@@ -18,15 +21,25 @@ pub struct SweepEngine {
 }
 
 impl SweepEngine {
-    /// An engine with `workers` workers and the environment's cache policy
-    /// (`DSMT_SWEEP_CACHE`, see [`CacheMode::from_env`]).
+    /// An engine with `workers` workers, the environment's cache policy
+    /// (`DSMT_SWEEP_CACHE`, see [`CacheMode::from_env`]) and the
+    /// environment's batch size (`DSMT_SWEEP_BATCH`, see
+    /// [`batch::batch_from_env`]).
     #[must_use]
     pub fn new(workers: usize) -> Self {
         SweepEngine {
             workers: workers.max(1),
+            batch: batch::batch_from_env(),
             cache: CacheMode::from_env(),
             progress: false,
         }
+    }
+
+    /// Sets the batched-drive size (min 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// An engine sized to the machine.
@@ -108,12 +121,16 @@ impl SweepEngine {
             .progress
             .then(|| crate::ProgressLine::start(jobs.len()));
         let done = progress.as_ref().map(crate::ProgressLine::counter);
-        let records = pool::run_indexed(&jobs, self.workers, |_, (gi, cell)| {
-            let record = execute_cell(cache.as_ref(), &stats[*gi], &grids[*gi].name, cell);
+        let records = pool::run_batched(&jobs, self.workers, self.batch, |_, slice| {
+            let items: Vec<(&str, &CacheStats, &crate::Cell)> = slice
+                .iter()
+                .map(|(gi, cell)| (grids[*gi].name.as_str(), &stats[*gi], cell))
+                .collect();
+            let records = execute_batch(cache.as_ref(), &items);
             if let Some(done) = &done {
-                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                done.fetch_add(slice.len(), std::sync::atomic::Ordering::Relaxed);
             }
-            record
+            records
         });
         if let Some(progress) = progress {
             progress.finish();
@@ -206,12 +223,16 @@ impl SweepEngine {
             .progress
             .then(|| crate::ProgressLine::start(cells.len()));
         let done = progress.as_ref().map(crate::ProgressLine::counter);
-        let records = pool::run_indexed(&cells, self.workers, |_, cell| {
-            let record = execute_cell(cache.as_ref(), &stats, &grid.name, cell);
+        let records = pool::run_batched(&cells, self.workers, self.batch, |_, slice| {
+            let items: Vec<(&str, &CacheStats, &crate::Cell)> = slice
+                .iter()
+                .map(|cell| (grid.name.as_str(), &stats, *cell))
+                .collect();
+            let records = execute_batch(cache.as_ref(), &items);
             if let Some(done) = &done {
-                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                done.fetch_add(slice.len(), std::sync::atomic::Ordering::Relaxed);
             }
-            record
+            records
         });
         if let Some(progress) = progress {
             progress.finish();
@@ -268,38 +289,63 @@ impl Default for SweepEngine {
     }
 }
 
-/// Produces one cell's [`RunRecord`] through the (optional) cache — the
-/// **single** record-construction path shared by [`SweepEngine::run_many`]
-/// and [`SweepEngine::run_subset`], so sharded and monolithic runs cannot
-/// drift apart and break their bit-identity guarantee.
-fn execute_cell(
+/// Produces one [`RunRecord`] per `(grid name, stats, cell)` item, in input
+/// order, through the (optional) cache — the **single** record-construction
+/// path shared by [`SweepEngine::run_many`] and [`SweepEngine::run_subset`],
+/// so sharded and monolithic runs cannot drift apart and break their
+/// bit-identity guarantee.
+///
+/// Cache hits are answered up front; the remaining misses are then driven
+/// as one interleaved batch ([`batch::drive`]) and published. Results do
+/// not depend on the batch composition, only each cell's `wall_secs`
+/// (excluded from record identity) does.
+fn execute_batch(
     cache: Option<&ResultCache>,
-    stats: &CacheStats,
-    grid_name: &str,
-    cell: &crate::Cell,
-) -> RunRecord {
-    let cell_started = Instant::now();
-    let results = match cache {
-        Some(cache) => cache.run_cached(&cell.scenario, stats),
-        None => {
-            let r = cell.scenario.execute();
-            stats.count_uncached_miss();
-            r
+    items: &[(&str, &CacheStats, &crate::Cell)],
+) -> Vec<RunRecord> {
+    // Answer what the cache already knows; collect the rest as one batch.
+    let mut resolved: Vec<Option<(dsmt_core::SimResults, f64)>> = items
+        .iter()
+        .map(|(_, stats, cell)| {
+            let started = Instant::now();
+            let hit = cache.and_then(|c| c.try_hit(&cell.scenario, stats));
+            hit.map(|r| (r, started.elapsed().as_secs_f64()))
+        })
+        .collect();
+    let misses: Vec<usize> = (0..items.len())
+        .filter(|&i| resolved[i].is_none())
+        .collect();
+    if !misses.is_empty() {
+        let scenarios: Vec<&crate::Scenario> =
+            misses.iter().map(|&i| &items[i].2.scenario).collect();
+        for (&i, (results, wall_secs)) in misses.iter().zip(batch::drive(&scenarios)) {
+            let (_, stats, cell) = items[i];
+            match cache {
+                Some(cache) => cache.publish_miss(&cell.scenario, &results, stats),
+                None => stats.count_uncached_miss(),
+            }
+            resolved[i] = Some((results, wall_secs));
         }
-    };
-    let elapsed = cell_started.elapsed();
-    dsmt_obs::histogram!("sweep.cell_wall_us").record(elapsed.as_micros() as u64);
-    let perf = CellPerf::new(&results, elapsed.as_secs_f64());
-    RunRecord {
-        cell: cell.index,
-        grid: grid_name.to_string(),
-        workload: cell.workload_label.clone(),
-        labels: cell.labels.clone(),
-        key: cell.scenario.cache_key_hex(),
-        scenario: cell.scenario.clone(),
-        results,
-        perf,
     }
+    items
+        .iter()
+        .zip(resolved)
+        .map(|((grid_name, _, cell), slot)| {
+            let (results, wall_secs) = slot.expect("every batched cell resolves");
+            dsmt_obs::histogram!("sweep.cell_wall_us").record((wall_secs * 1e6) as u64);
+            let perf = CellPerf::new(&results, wall_secs);
+            RunRecord {
+                cell: cell.index,
+                grid: grid_name.to_string(),
+                workload: cell.workload_label.clone(),
+                labels: cell.labels.clone(),
+                key: cell.scenario.cache_key_hex(),
+                scenario: cell.scenario.clone(),
+                results,
+                perf,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -326,6 +372,37 @@ mod tests {
         }
         assert_eq!(reference.len(), 6);
         assert_eq!(reference.cache_misses, 6);
+    }
+
+    #[test]
+    fn identical_records_across_batch_sizes() {
+        let grid = tiny_grid("det-batch");
+        let reference = SweepEngine::new(1).without_cache().with_batch(1).run(&grid);
+        for (workers, batch) in [(1, 3), (1, 8), (2, 2), (4, 3), (8, 8)] {
+            let got = SweepEngine::new(workers)
+                .without_cache()
+                .with_batch(batch)
+                .run(&grid);
+            assert_eq!(
+                got.records, reference.records,
+                "workers={workers} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_subset_matches_unbatched_subset() {
+        let grid = tiny_grid("det-batch-subset");
+        let reference = SweepEngine::new(1)
+            .without_cache()
+            .with_batch(1)
+            .run_subset(&grid, &[5, 0, 2, 4]);
+        let got = SweepEngine::new(2)
+            .without_cache()
+            .with_batch(4)
+            .run_subset(&grid, &[5, 0, 2, 4]);
+        assert_eq!(got.records, reference.records);
+        assert_eq!(got.cache_misses, 4);
     }
 
     #[test]

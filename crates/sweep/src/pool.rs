@@ -55,13 +55,46 @@ where
     O: Send,
     F: Fn(usize, &I) -> O + Sync,
 {
+    run_batched(items, workers, 1, |base, slice| vec![f(base, &slice[0])])
+}
+
+/// Like [`run_indexed`], but hands `f` contiguous slices of up to
+/// `max_batch` items at a time: `f(base, slice)` must return one output per
+/// slice item, in order. The sweep engine's batched-cell drive loop uses
+/// this to interleave several simulations per call; `max_batch = 1`
+/// degenerates to per-item dispatch.
+///
+/// Work distribution is unchanged from [`run_indexed`] (chunked claims,
+/// half-span steals): batches never cross a claimed chunk's boundary, so
+/// outputs land in input order exactly as before.
+///
+/// # Panics
+///
+/// Propagates panics from `f`; panics if `f` returns the wrong number of
+/// outputs for a slice.
+pub fn run_batched<I, O, F>(items: &[I], workers: usize, max_batch: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &[I]) -> Vec<O> + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
+    let max_batch = max_batch.max(1);
     let workers = workers.clamp(1, n);
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let mut out: Vec<O> = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + max_batch).min(n);
+            let batch = f(lo, &items[lo..hi]);
+            assert_eq!(batch.len(), hi - lo, "batch at {lo} returned wrong count");
+            out.extend(batch);
+            lo = hi;
+        }
+        return out;
     }
 
     // Initial even partition; spans are then mutated by their owner (pop
@@ -108,11 +141,17 @@ where
                     if let Some(chunk) = chunk {
                         dsmt_obs::counter!("sweep.pool.chunks").inc();
                         let chunk_started = std::time::Instant::now();
-                        for i in chunk.lo..chunk.hi {
-                            let out = f(i, &items[i]);
-                            let mut slot = slab[i].lock().expect("slab slot lock");
-                            debug_assert!(slot.is_none(), "cell {i} computed twice");
-                            *slot = Some(out);
+                        let mut lo = chunk.lo;
+                        while lo < chunk.hi {
+                            let hi = (lo + max_batch).min(chunk.hi);
+                            let outs = f(lo, &items[lo..hi]);
+                            assert_eq!(outs.len(), hi - lo, "batch at {lo} returned wrong count");
+                            for (k, out) in outs.into_iter().enumerate() {
+                                let mut slot = slab[lo + k].lock().expect("slab slot lock");
+                                debug_assert!(slot.is_none(), "cell {} computed twice", lo + k);
+                                *slot = Some(out);
+                            }
+                            lo = hi;
                         }
                         busy += chunk_started.elapsed();
                         cells += chunk.len() as u64;

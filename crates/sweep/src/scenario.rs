@@ -121,14 +121,31 @@ impl Scenario {
     /// grid construction bugs, not runtime conditions.
     #[must_use]
     pub fn execute(&self) -> SimResults {
+        let mut cpu = self.processor();
+        let results = cpu.run(self.budget);
+        results.record_metrics();
+        cpu.perf().record_metrics();
+        results
+    }
+
+    /// Builds (but does not run) the processor this scenario describes.
+    /// [`execute`](Self::execute) is `processor().run(budget)` plus metric
+    /// recording; the batched-cell drive loop constructs several at once
+    /// and interleaves their run quanta instead.
+    ///
+    /// # Panics
+    ///
+    /// As for [`execute`](Self::execute).
+    #[must_use]
+    pub fn processor(&self) -> Processor {
         self.config
             .validate()
             .unwrap_or_else(|e| panic!("invalid scenario config: {e}"));
-        let results = match &self.workload {
+        match &self.workload {
             WorkloadSpec::SpecMix { insts_per_program } => {
                 let workload =
                     ThreadWorkload::spec_fp95(self.seed).with_insts_per_program(*insts_per_program);
-                Processor::with_workload(self.config.clone(), &workload).run(self.budget)
+                Processor::with_workload(self.config.clone(), &workload)
             }
             WorkloadSpec::Mix {
                 benchmarks,
@@ -139,20 +156,18 @@ impl Scenario {
                     *insts_per_program,
                     self.seed,
                 );
-                Processor::with_workload(self.config.clone(), &workload).run(self.budget)
+                Processor::with_workload(self.config.clone(), &workload)
             }
             WorkloadSpec::Benchmark { name } => {
                 let profile = spec_fp95_profile(name)
                     .unwrap_or_else(|| panic!("unknown SPEC FP95 benchmark `{name}`"));
-                self.run_profile_on_all_threads(&profile)
+                self.profile_processor(&profile)
             }
-            WorkloadSpec::Profile { profile } => self.run_profile_on_all_threads(profile),
-        };
-        results.record_metrics();
-        results
+            WorkloadSpec::Profile { profile } => self.profile_processor(profile),
+        }
     }
 
-    fn run_profile_on_all_threads(&self, profile: &BenchmarkProfile) -> SimResults {
+    fn profile_processor(&self, profile: &BenchmarkProfile) -> Processor {
         let traces: Vec<Box<dyn TraceSource>> = (0..self.config.num_threads)
             .map(|t| {
                 Box::new(SyntheticTrace::with_offset(
@@ -162,7 +177,7 @@ impl Scenario {
                 )) as Box<dyn TraceSource>
             })
             .collect();
-        Processor::new(self.config.clone(), traces).run(self.budget)
+        Processor::new(self.config.clone(), traces)
     }
 }
 

@@ -39,4 +39,4 @@ pub use predictor::{BranchPredictor, PredictorStats};
 pub use queue::BoundedQueue;
 pub use regfile::{PhysReg, RegisterFile, RenameOutcome};
 pub use rob::{Rob, RobToken};
-pub use wheel::EventWheel;
+pub use wheel::{EventWheel, WakeList};
