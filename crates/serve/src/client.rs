@@ -1,0 +1,148 @@
+//! The minimal blocking HTTP client `dsmt client` and the integration
+//! tests share: one request per connection (`Connection: close`), typed
+//! access to the structured error model.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::{read_response, Request, Response};
+use serde::Value;
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` (`host:port`) with a 30 s timeout — generous
+    /// because a record fetch can sit behind a large merge.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        HttpClient {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The address requests go to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request and reads the response. Adds `Connection: close`
+    /// and a `Content-Length` for non-empty bodies.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for connect, send, or parse failures (an
+    /// HTTP error *status* is a successful exchange, not an `Err`).
+    pub fn send(&self, mut request: Request) -> Result<Response, String> {
+        request
+            .headers
+            .push(("Connection".to_string(), "close".to_string()));
+        let mut stream = self
+            .connect()
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        std::io::Write::write_all(&mut stream, &request.encode())
+            .map_err(|e| format!("send to {}: {e}", self.addr))?;
+        read_response(&mut stream).map_err(|e| format!("response from {}: {e}", self.addr))
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        // connect_timeout needs a resolved SocketAddr; resolve via the
+        // standard ToSocketAddrs and take the first candidate.
+        use std::net::ToSocketAddrs;
+        let addr = self
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`HttpClient::send`].
+    pub fn get(&self, path: &str) -> Result<Response, String> {
+        self.send(Request::get(path))
+    }
+
+    /// `GET path` with extra headers (e.g. `If-None-Match`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`HttpClient::send`].
+    pub fn get_with(&self, path: &str, headers: &[(&str, &str)]) -> Result<Response, String> {
+        let mut request = Request::get(path);
+        for (k, v) in headers {
+            request.headers.push(((*k).to_string(), (*v).to_string()));
+        }
+        self.send(request)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As for [`HttpClient::send`].
+    pub fn post_json(&self, path: &str, body: impl Into<String>) -> Result<Response, String> {
+        let mut request = Request::get(path);
+        request.method = "POST".to_string();
+        request
+            .headers
+            .push(("Content-Type".to_string(), "application/json".to_string()));
+        request.body = body.into().into_bytes();
+        self.send(request)
+    }
+}
+
+/// Parses a response body as JSON, mapping the service's structured error
+/// model to `Err("code: message")` for non-2xx statuses — the one place
+/// CLI subcommands and tests decode errors.
+///
+/// # Errors
+///
+/// The service error (`code: message`), or a description of a body that
+/// is not valid JSON.
+pub fn json_body(response: &Response) -> Result<Value, String> {
+    let text = std::str::from_utf8(&response.body)
+        .map_err(|_| format!("status {}: body is not utf-8", response.status))?;
+    let value: Value =
+        serde::from_str(text).map_err(|e| format!("status {}: {e}", response.status))?;
+    if (200..300).contains(&response.status) {
+        return Ok(value);
+    }
+    let detail = value
+        .field("error")
+        .ok()
+        .map(|err| {
+            let code = err
+                .field("code")
+                .ok()
+                .and_then(|c| c.as_str().ok())
+                .unwrap_or("unknown");
+            let message = err
+                .field("message")
+                .ok()
+                .and_then(|m| m.as_str().ok())
+                .unwrap_or("");
+            format!("{code}: {message}")
+        })
+        .unwrap_or_else(|| format!("status {}", response.status));
+    Err(detail)
+}

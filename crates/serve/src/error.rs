@@ -1,0 +1,180 @@
+//! The structured JSON error model: every failure the service reports has
+//! an HTTP status, a **stable** machine-readable code, and a human
+//! message, rendered as
+//!
+//! ```json
+//! { "error": { "code": "unknown_grid", "status": 404, "message": "..." } }
+//! ```
+//!
+//! Codes are part of the protocol (scripts match on them; messages are
+//! free to change): `bad_request`, `invalid_json`, `invalid_grid`,
+//! `unknown_builtin`, `unknown_grid`, `unknown_cell`, `invalid_key`,
+//! `not_found`, `method_not_allowed`, `grid_incomplete`, `timeout`,
+//! `payload_too_large`, `header_too_large`, `unsupported_transfer_encoding`,
+//! `http_version_not_supported`, `truncated_request`, `busy`, `internal`.
+
+use crate::http::Response;
+use serde::Value;
+
+/// One service-level error: status + stable code + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A new error from its parts.
+    #[must_use]
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// 400 `bad_request`: a structurally valid request the service cannot
+    /// make sense of.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// 400 `invalid_json`: the body is not parseable JSON.
+    #[must_use]
+    pub fn invalid_json(message: impl Into<String>) -> Self {
+        Self::new(400, "invalid_json", message)
+    }
+
+    /// 422 `invalid_grid`: parseable body, but not a usable sweep grid or
+    /// shard plan.
+    #[must_use]
+    pub fn invalid_grid(message: impl Into<String>) -> Self {
+        Self::new(422, "invalid_grid", message)
+    }
+
+    /// 404 `unknown_builtin`: no built-in grid under that name.
+    #[must_use]
+    pub fn unknown_builtin(name: &str) -> Self {
+        Self::new(
+            404,
+            "unknown_builtin",
+            format!("no built-in grid named {name:?}"),
+        )
+    }
+
+    /// 404 `unknown_grid`: no submitted plan under that hash.
+    #[must_use]
+    pub fn unknown_grid(hash: &str) -> Self {
+        Self::new(
+            404,
+            "unknown_grid",
+            format!("no submitted grid with hash {hash}; POST /grids first"),
+        )
+    }
+
+    /// 404 `unknown_cell`: no cached record under that key.
+    #[must_use]
+    pub fn unknown_cell(key: &str) -> Self {
+        Self::new(
+            404,
+            "unknown_cell",
+            format!("no record stored under key {key}"),
+        )
+    }
+
+    /// 400 `invalid_key`: a grid hash or cell key that is not 1–16 hex
+    /// digits.
+    #[must_use]
+    pub fn invalid_key(text: &str) -> Self {
+        Self::new(
+            400,
+            "invalid_key",
+            format!("{text:?} is not a hex key (1-16 hex digits)"),
+        )
+    }
+
+    /// 404 `not_found`: no route matches the path.
+    #[must_use]
+    pub fn not_found(path: &str) -> Self {
+        Self::new(404, "not_found", format!("no route for {path}"))
+    }
+
+    /// 405 `method_not_allowed`, with the allowed methods named.
+    #[must_use]
+    pub fn method_not_allowed(method: &str, allow: &str) -> Self {
+        Self::new(
+            405,
+            "method_not_allowed",
+            format!("method {method} is not allowed here (allow: {allow})"),
+        )
+    }
+
+    /// 409 `grid_incomplete`: a merged record was requested before every
+    /// shard published its output.
+    #[must_use]
+    pub fn grid_incomplete(message: impl Into<String>) -> Self {
+        Self::new(409, "grid_incomplete", message)
+    }
+
+    /// 503 `busy`: the accept queue is full.
+    #[must_use]
+    pub fn busy() -> Self {
+        Self::new(503, "busy", "connection queue is full; retry shortly")
+    }
+
+    /// 500 `internal`: an unexpected server-side failure.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(500, "internal", message)
+    }
+
+    /// Renders the error as its JSON response.
+    #[must_use]
+    pub fn to_response(&self) -> Response {
+        let value = Value::Object(vec![(
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::Str(self.code.to_string())),
+                ("status".to_string(), Value::U64(u64::from(self.status))),
+                ("message".to_string(), Value::Str(self.message.clone())),
+            ]),
+        )]);
+        Response::json(self.status, serde::to_string(&value))
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_documented_json_shape() {
+        let resp = ApiError::unknown_grid("0123456789abcdef").to_response();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        let v: Value = serde::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.field("error").unwrap();
+        assert_eq!(err.field("code").unwrap().as_str().unwrap(), "unknown_grid");
+        assert_eq!(err.field("status").unwrap().as_u64().unwrap(), 404);
+        assert!(err
+            .field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("0123456789abcdef"));
+    }
+}

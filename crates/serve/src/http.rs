@@ -1,0 +1,662 @@
+//! A deliberately small HTTP/1.1 implementation over blocking `std::io`
+//! streams: request parsing with hard limits, response serialization, and
+//! the client-side response parser.
+//!
+//! Scope is exactly what the dsmt service protocol needs — `GET`/`POST`
+//! with `Content-Length` bodies, keep-alive, and case-insensitive header
+//! lookup. Chunked transfer encoding, multipart, and percent-decoding are
+//! intentionally out: every path component the service routes on (grid
+//! hashes, cell keys) is plain hex, and anything the parser does not
+//! understand is rejected with a typed [`ParseError`] that the server maps
+//! to a structured 4xx/5xx — never a panic, never an unbounded read.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Hard resource limits enforced while reading one request.
+///
+/// Defaults (16 KiB of headers, 4 MiB of body, 10 s read/write timeouts)
+/// fit the service's traffic — the largest legitimate body is a submitted
+/// [`dsmt_sweep::SweepGrid`] in JSON — while bounding what a slow or
+/// malicious peer can pin per connection.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (terminator included).
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (applies per `read(2)`, so it bounds how long a
+    /// silent peer can hold a worker, not total request time).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a request could not be read. The server maps each variant to a
+/// structured error response (or a silent close, for [`ParseError::Closed`]
+/// and idle keep-alive timeouts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Clean EOF before the first byte of a request: the peer closed an
+    /// idle (keep-alive) connection. Not an error in any meaningful sense.
+    Closed,
+    /// EOF in the middle of a request.
+    Truncated,
+    /// The socket read timed out; `mid_request` says whether any bytes of
+    /// the current request had already arrived (idle keep-alive waits time
+    /// out too, and those close silently).
+    TimedOut {
+        /// Whether the timeout interrupted a partially-received request.
+        mid_request: bool,
+    },
+    /// Any other I/O failure, carried as text.
+    Io(String),
+    /// Structurally invalid request line or header.
+    Malformed(&'static str),
+    /// Request line + headers exceeded [`Limits::max_header_bytes`].
+    HeaderTooLarge,
+    /// Declared `Content-Length` exceeded [`Limits::max_body_bytes`].
+    BodyTooLarge {
+        /// The declared length.
+        declared: u64,
+    },
+    /// A `Transfer-Encoding` header was present (chunked bodies are out of
+    /// scope; clients must send `Content-Length`).
+    UnsupportedTransferEncoding,
+    /// An HTTP version other than 1.0 or 1.1.
+    UnsupportedVersion,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Closed => write!(f, "connection closed"),
+            ParseError::Truncated => write!(f, "connection closed mid-request"),
+            ParseError::TimedOut { .. } => write!(f, "read timed out"),
+            ParseError::Io(why) => write!(f, "i/o error: {why}"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::HeaderTooLarge => write!(f, "request head exceeds the header limit"),
+            ParseError::BodyTooLarge { declared } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the body limit"
+                )
+            }
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding is not supported; send content-length")
+            }
+            ParseError::UnsupportedVersion => write!(f, "only HTTP/1.0 and HTTP/1.1 are supported"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn classify_io(e: &std::io::Error, mid_request: bool) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ParseError::TimedOut { mid_request }
+        }
+        _ => ParseError::Io(e.to_string()),
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target (always starts with `/`).
+    pub path: String,
+    /// The query string, if any (text after the first `?`, undecoded).
+    pub query: Option<String>,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+    /// Headers in arrival order, names verbatim.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless a `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A `GET` request skeleton for the given path (client-side use).
+    #[must_use]
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: "GET".to_string(),
+            path: path.into(),
+            query: None,
+            version: "HTTP/1.1".to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The first header named `name`, case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer wants the connection kept open after this
+    /// exchange: HTTP/1.1 defaults to yes, HTTP/1.0 to no, and an explicit
+    /// `Connection:` header overrides either way.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+
+    /// Serializes the request to wire bytes. A `Content-Length` header is
+    /// appended when the body is non-empty and none was given explicitly;
+    /// this is the encoding the bundled client sends and the round-trip
+    /// property tests feed back through [`Conn::read_request`].
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        if let Some(q) = &self.query {
+            out.push(b'?');
+            out.extend_from_slice(q.as_bytes());
+        }
+        out.push(b' ');
+        out.extend_from_slice(self.version.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !self.body.is_empty() && self.header("content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The standard reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// One response, body owned. `Content-Length` and `Connection` headers are
+/// written by [`Response::write_to`]; everything else lives in `headers`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `ETag`, ...).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given body text.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), "application/json".to_string())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A binary response with an explicit content type.
+    #[must_use]
+    pub fn bytes(status: u16, content_type: &str, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body,
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The first header named `name`, case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Writes the response (status line, headers, `Content-Length`, the
+    /// advisory `Connection` header, body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket write failure (including a write timeout).
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: dsmt-serve\r\n",
+            self.status,
+            reason_phrase(self.status)
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// One buffered connection: owns the stream plus any bytes read beyond the
+/// current request (so pipelined keep-alive requests are not lost between
+/// [`Conn::read_request`] calls).
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Read + Write> Conn<S> {
+    /// Wraps a stream.
+    pub fn new(stream: S) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the underlying stream, for writing responses.
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn fill(&mut self, mid_request: bool) -> Result<usize, ParseError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {
+                if mid_request {
+                    Err(ParseError::Truncated)
+                } else {
+                    Err(ParseError::Closed)
+                }
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(classify_io(&e, mid_request)),
+        }
+    }
+
+    /// Reads and parses one request, enforcing `limits`.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`]; see each variant for the condition it names. The
+    /// parser itself is total — arbitrary bytes produce an error value,
+    /// never a panic (property-tested).
+    pub fn read_request(&mut self, limits: &Limits) -> Result<Request, ParseError> {
+        // Accumulate until the head terminator, bounding the head size.
+        let head_end = loop {
+            if let Some(i) = find_terminator(&self.buf) {
+                break i;
+            }
+            if self.buf.len() > limits.max_header_bytes {
+                return Err(ParseError::HeaderTooLarge);
+            }
+            self.fill(!self.buf.is_empty())?;
+        };
+        if head_end > limits.max_header_bytes {
+            return Err(ParseError::HeaderTooLarge);
+        }
+        let head = self.buf[..head_end].to_vec();
+        let consumed = head_end + 4;
+        self.buf.drain(..consumed);
+        let mut request = parse_head(&head)?;
+
+        if request.header("transfer-encoding").is_some() {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        let content_length = match request.header("content-length") {
+            None => 0,
+            Some(text) => text
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| ParseError::Malformed("unparseable content-length"))?,
+        };
+        if content_length > limits.max_body_bytes as u64 {
+            return Err(ParseError::BodyTooLarge {
+                declared: content_length,
+            });
+        }
+        let content_length = content_length as usize;
+        while self.buf.len() < content_length {
+            self.fill(true)?;
+        }
+        request.body = self.buf.drain(..content_length).collect();
+        Ok(request)
+    }
+}
+
+/// Finds the `\r\n\r\n` head terminator, returning the head length.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line + header block (no terminator, no body).
+fn parse_head(head: &[u8]) -> Result<Request, ParseError> {
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("head is not utf-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(
+            "request line is not METHOD SP TARGET SP VERSION",
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("method is not an uppercase token"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::UnsupportedVersion);
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed("target must be an absolute path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            // A lone trailing empty line would mean `\r\n\r\n` inside the
+            // head, which find_terminator precludes; reject defensively.
+            return Err(ParseError::Malformed("empty header line"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line without a colon"));
+        };
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(ParseError::Malformed("header name is not a token"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        version: version.to_string(),
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// Reads and parses one response from `stream` (client side). The body is
+/// sized by `Content-Length` when present, otherwise read to EOF.
+///
+/// # Errors
+///
+/// A [`ParseError`] describing the malformation or I/O failure.
+pub fn read_response(stream: &mut impl Read) -> Result<Response, ParseError> {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(i) = find_terminator(&buf) {
+            break i;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(ParseError::HeaderTooLarge);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    ParseError::Closed
+                } else {
+                    ParseError::Truncated
+                })
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(classify_io(&e, !buf.is_empty())),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("head is not utf-8"))?
+        .to_string();
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(code), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(ParseError::Malformed(
+            "status line is not VERSION SP CODE SP REASON",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::UnsupportedVersion);
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| ParseError::Malformed("unparseable status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line without a colon"));
+        };
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    match content_length {
+        Some(want) => {
+            while body.len() < want {
+                let mut chunk = [0u8; 4096];
+                match stream.read(&mut chunk) {
+                    Ok(0) => return Err(ParseError::Truncated),
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(classify_io(&e, true)),
+                }
+            }
+            body.truncate(want);
+        }
+        None => {
+            let mut rest = Vec::new();
+            stream
+                .read_to_end(&mut rest)
+                .map_err(|e| classify_io(&e, true))?;
+            body.extend_from_slice(&rest);
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, ParseError> {
+        let mut conn = Conn::new(std::io::Cursor::new(bytes.to_vec()));
+        conn.read_request(&Limits::default())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.wants_keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse_bytes(
+            b"POST /grids?dry=1 HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 4\r\n\r\n{\"\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/grids");
+        assert_eq!(req.query.as_deref(), Some("dry=1"));
+        assert_eq!(req.body, b"{\"\":".to_vec());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse_bytes(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse_bytes(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive());
+        let req = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for bad in [
+            &b"garbage\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno colon\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+        ] {
+            assert!(
+                parse_bytes(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn enforces_header_limit() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "y".repeat(20_000)).as_bytes());
+        assert_eq!(parse_bytes(&raw), Err(ParseError::HeaderTooLarge));
+    }
+
+    #[test]
+    fn enforces_body_limit_without_reading_the_body() {
+        let raw = b"POST /grids HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(
+            parse_bytes(raw),
+            Err(ParseError::BodyTooLarge {
+                declared: 99_999_999
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        let raw = b"POST /grids HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(
+            parse_bytes(raw),
+            Err(ParseError::UnsupportedTransferEncoding)
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_partial_eof_is_truncated() {
+        assert_eq!(parse_bytes(b""), Err(ParseError::Closed));
+        assert_eq!(parse_bytes(b"GET / HT"), Err(ParseError::Truncated));
+        assert_eq!(
+            parse_bytes(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ParseError::Truncated)
+        );
+    }
+
+    #[test]
+    fn keep_alive_requests_parse_back_to_back() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut conn = Conn::new(std::io::Cursor::new(raw.to_vec()));
+        let limits = Limits::default();
+        let a = conn.read_request(&limits).unwrap();
+        let b = conn.read_request(&limits).unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(a.wants_keep_alive() && !b.wants_keep_alive());
+        assert_eq!(conn.read_request(&limits), Err(ParseError::Closed));
+    }
+
+    #[test]
+    fn response_round_trips_through_writer_and_reader() {
+        let resp = Response::json(200, "{\"ok\":true}").with_header("ETag", "\"abc\"");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let back = read_response(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.header("etag"), Some("\"abc\""));
+        assert_eq!(back.header("connection"), Some("keep-alive"));
+        assert_eq!(back.body, resp.body);
+    }
+}

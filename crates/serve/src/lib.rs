@@ -1,0 +1,44 @@
+//! dsmt-serve: sweep-as-a-service over a hand-rolled `std::net` HTTP
+//! stack.
+//!
+//! The store/shard substrate already coordinates fleets through one
+//! directory — content-addressed checksummed segments, `O_EXCL` lockfile
+//! claims with heartbeats, deterministic shard plans. This crate puts a
+//! long-running daemon in front of that directory so submissions, status
+//! polls and record reads become network calls:
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `POST /grids` | Plan a submitted grid (JSON or built-in name) |
+//! | `GET /grids` | List submitted plans |
+//! | `GET /grids/{hash}/status` | Done/claimed/missing per shard |
+//! | `GET /grids/{hash}/record` | Merged `.dsr` bytes, ETag + 304 |
+//! | `GET /cells/{key}` | One cached record as JSON |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metricsz` | Obs registry snapshot |
+//!
+//! The stack is zero-dependency by necessity (the build environment has
+//! no crates.io access) and by design (one static binary deploys the
+//! daemon): [`http`] implements exactly the HTTP/1.1 subset the protocol
+//! needs over blocking sockets, [`Server`] runs a bounded thread pool
+//! with read/write timeouts and keep-alive, and every failure is a
+//! structured JSON error with a stable code ([`ApiError`]). Workers need
+//! no client at all — a submission writes an ordinary shard plan into the
+//! daemon's store, and `dsmt shard run <plan> --missing --store <dir>`
+//! picks it up through the existing protocol.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use client::{json_body, HttpClient};
+pub use error::ApiError;
+pub use http::{Conn, Limits, ParseError, Request, Response};
+#[cfg(unix)]
+pub use server::install_signal_handlers;
+pub use server::{signal_shutdown_requested, ServeSummary, Server, ServerConfig, ShutdownHandle};
+pub use service::{GridResolver, RecordFetch, SweepService};

@@ -175,7 +175,17 @@ pub struct Store {
     dir: PathBuf,
     segments: Vec<LoadedSegment>,
     index: HashMap<u64, (usize, usize)>,
+    /// Mtime of `segments/` observed just before the last full scan, used
+    /// by [`Store::refresh`] to skip rescanning an unchanged directory.
+    scanned_dir_mtime: Option<SystemTime>,
 }
+
+/// How much older than "now" the segments directory's mtime must be before
+/// [`Store::refresh`] trusts an unchanged mtime and skips the rescan.
+/// Directory mtimes can be coarse (whole seconds on some filesystems), so a
+/// publish landing within the same mtime granule as our scan would be
+/// invisible to a pure mtime compare; within this window we always rescan.
+const REFRESH_MTIME_GUARD: std::time::Duration = std::time::Duration::from_secs(2);
 
 impl Store {
     /// Opens (creating if needed) a store at `dir` for client schema
@@ -229,6 +239,7 @@ impl Store {
             dir,
             segments: Vec::new(),
             index: HashMap::new(),
+            scanned_dir_mtime: None,
         };
         store.load_segments()?;
         Ok(store)
@@ -255,6 +266,7 @@ impl Store {
     fn load_segments(&mut self) -> Result<(), StoreError> {
         self.segments.clear();
         self.index.clear();
+        self.scanned_dir_mtime = self.stat_segments_dir();
         let mut files: Vec<(SystemTime, String, PathBuf, u64)> = Vec::new();
         for entry in std::fs::read_dir(self.segments_dir())?.filter_map(Result::ok) {
             let path = entry.path();
@@ -440,13 +452,42 @@ impl Store {
         }
     }
 
+    /// Mtime of the segments directory itself, which the kernel bumps on
+    /// every entry add/remove — a one-stat change detector for publishes.
+    fn stat_segments_dir(&self) -> Option<SystemTime> {
+        std::fs::metadata(self.segments_dir())
+            .and_then(|m| m.modified())
+            .ok()
+    }
+
     /// Picks up segments published by other processes since open (or the
     /// last refresh). In-memory state for already-loaded segments is kept.
+    ///
+    /// Polling callers (`dsmt shard status --watch`, the serve daemon's
+    /// status endpoint) hit this every few seconds; re-statting every
+    /// segment each poll is wasted work when nothing was published. A new
+    /// segment file always bumps the `segments/` directory's own mtime, so
+    /// an unchanged dir mtime means an unchanged listing — the scan is
+    /// skipped (counted by `store.refresh_skipped`). Because directory
+    /// mtimes can be coarse, the skip only triggers once the mtime is at
+    /// least `REFRESH_MTIME_GUARD` old: a publish racing our previous
+    /// scan inside one mtime granule is rescanned, never missed.
     ///
     /// # Errors
     ///
     /// As for [`Store::open`] (a newly appeared corrupt segment fails).
     pub fn refresh(&mut self) -> Result<usize, StoreError> {
+        let dir_mtime = self.stat_segments_dir();
+        if let (Some(prev), Some(cur)) = (self.scanned_dir_mtime, dir_mtime) {
+            let settled = SystemTime::now()
+                .duration_since(cur)
+                .is_ok_and(|age| age >= REFRESH_MTIME_GUARD);
+            if prev == cur && settled {
+                dsmt_obs::counter!("store.refresh_skipped").inc();
+                return Ok(0);
+            }
+        }
+        self.scanned_dir_mtime = dir_mtime;
         let known: std::collections::HashSet<String> =
             self.segments.iter().map(|s| s.name.clone()).collect();
         let mut fresh: Vec<(SystemTime, String, PathBuf, u64)> = Vec::new();
@@ -889,6 +930,47 @@ mod tests {
         assert_eq!(b.refresh().expect("refresh"), 1);
         assert_eq!(b.get(1), Some(&value(1)));
         assert_eq!(b.refresh().expect("refresh again"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Forces the segments directory's mtime into the past so the refresh
+    /// short-circuit's settle guard is satisfied without sleeping.
+    fn backdate_segments_dir(dir: &Path) {
+        let seg_dir = dir.join("segments");
+        let f = std::fs::File::open(&seg_dir).expect("open segments dir");
+        f.set_modified(SystemTime::now() - std::time::Duration::from_secs(30))
+            .expect("backdate dir mtime");
+    }
+
+    #[test]
+    fn refresh_short_circuits_on_unchanged_dir_mtime() {
+        let dir = temp_store("refresh-skip");
+        let mut a = Store::open(&dir, 1).expect("open a");
+        let mut b = Store::open(&dir, 1).expect("open b");
+        a.publish(vec![(1, value(1))]).unwrap();
+        assert_eq!(b.refresh().expect("refresh"), 1);
+
+        // The publish just bumped the dir mtime, so the mtime is too fresh
+        // to trust; a refresh now must still rescan (finding nothing new).
+        assert_eq!(b.refresh().expect("fresh-mtime refresh"), 0);
+
+        // Settle the mtime into the past: the next refresh rescans once
+        // (mtime changed), then the one after short-circuits.
+        backdate_segments_dir(&dir);
+        assert_eq!(b.refresh().expect("post-backdate rescan"), 0);
+        let skipped = dsmt_obs::registry().counter("store.refresh_skipped");
+        let before = skipped.get();
+        assert_eq!(b.refresh().expect("short-circuit"), 0);
+        assert!(
+            skipped.get() > before,
+            "unchanged settled dir mtime should skip the scan"
+        );
+
+        // A new publish bumps the dir mtime, which defeats the
+        // short-circuit: the publish is observed, never missed.
+        a.publish(vec![(2, value(2))]).unwrap();
+        assert_eq!(b.refresh().expect("sees new segment"), 1);
+        assert_eq!(b.get(2), Some(&value(2)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
