@@ -41,4 +41,4 @@ pub use http::{Conn, Limits, ParseError, Request, Response};
 #[cfg(unix)]
 pub use server::install_signal_handlers;
 pub use server::{signal_shutdown_requested, ServeSummary, Server, ServerConfig, ShutdownHandle};
-pub use service::{GridResolver, RecordFetch, SweepService};
+pub use service::{CellFetch, GridResolver, RecordFetch, SweepService};

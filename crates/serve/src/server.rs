@@ -484,7 +484,12 @@ fn route(service: &SweepService, request: &Request) -> Response {
             }
         }),
         ["grids", _, "record"] => Err(ApiError::method_not_allowed(&request.method, "GET")),
-        ["cells", key] if get => service.cell(key).map(|json| Response::json(200, json)),
+        ["cells", key] if get => service
+            .cell(key, request.header("if-none-match"))
+            .map(|fetch| match fetch.json {
+                None => Response::json(304, String::new()).with_header("ETag", fetch.etag),
+                Some(json) => Response::json(200, json).with_header("ETag", fetch.etag),
+            }),
         ["cells", _] => Err(ApiError::method_not_allowed(&request.method, "GET")),
         _ => Err(ApiError::not_found(&request.path)),
     };

@@ -37,6 +37,18 @@ pub struct RecordFetch {
     pub etag: String,
 }
 
+/// The outcome of a cell fetch: the record rendered as JSON (unless the
+/// client's `If-None-Match` already matched) and its strong ETag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFetch {
+    /// The rendered record; `None` means "not modified" — the client's
+    /// ETag matched and the record was never decoded or serialized.
+    pub json: Option<String>,
+    /// Strong ETag: the quoted 16-hex per-record FNV from the segment
+    /// header (or, for eagerly loaded legacy segments, of the JSON body).
+    pub etag: String,
+}
+
 /// The sweep service: store + plans + grid resolver, shared by every
 /// worker thread behind a mutex (requests are short; the store handle is
 /// the contended resource and [`dsmt_store::Store::refresh`] is cheap on an unchanged
@@ -269,12 +281,20 @@ impl SweepService {
     }
 
     /// Handles `GET /cells/{key}`: the raw store record under a cache key
-    /// (16-hex, as printed by sweep reports), rendered as JSON.
+    /// (16-hex, as printed by sweep reports), rendered as JSON with a
+    /// strong ETag (mirroring `/grids/{hash}/record` semantics).
+    ///
+    /// The ETag is the per-record FNV the segment header already records,
+    /// so a matching `If-None-Match` is answered from the index alone —
+    /// no record decode, no serialization, no body. Records from eagerly
+    /// loaded segments (legacy v1 files record no per-record FNV) fall
+    /// back to hashing the rendered JSON.
     ///
     /// # Errors
     ///
-    /// `invalid_key`, `unknown_cell`, or `internal`.
-    pub fn cell(&self, key: &str) -> Result<String, ApiError> {
+    /// `invalid_key`, `unknown_cell`, or `internal` (which includes a
+    /// stored record failing its checksum at decode).
+    pub fn cell(&self, key: &str, if_none_match: Option<&str>) -> Result<CellFetch, ApiError> {
         validate_hex_key(key)?;
         let numeric = u64::from_str_radix(key, 16).map_err(|_| ApiError::invalid_key(key))?;
         let mut transport = self
@@ -285,9 +305,30 @@ impl SweepService {
             return Err(ApiError::internal("service transport is not a store"));
         };
         store.refresh();
-        match store.as_store().get(numeric) {
-            Some(value) => Ok(serde::to_string(value)),
-            None => Err(ApiError::unknown_cell(key)),
+        let store = store.as_store();
+        if let Some(fnv) = store.record_fnv(numeric) {
+            let etag = format!("\"{fnv:016x}\"");
+            if if_none_match == Some(etag.as_str()) {
+                return Ok(CellFetch { json: None, etag });
+            }
+        }
+        match store.try_get(numeric) {
+            Ok(Some(value)) => {
+                let json = serde::to_string(value);
+                let etag = match store.record_fnv(numeric) {
+                    Some(fnv) => format!("\"{fnv:016x}\""),
+                    None => format!("\"{:016x}\"", fnv1a64(json.as_bytes())),
+                };
+                if if_none_match == Some(etag.as_str()) {
+                    return Ok(CellFetch { json: None, etag });
+                }
+                Ok(CellFetch {
+                    json: Some(json),
+                    etag,
+                })
+            }
+            Ok(None) => Err(ApiError::unknown_cell(key)),
+            Err(e) => Err(ApiError::internal(e.to_string())),
         }
     }
 
@@ -411,8 +452,43 @@ mod tests {
             svc.status("0123456789abcdef").unwrap_err().code,
             "unknown_grid"
         );
-        assert_eq!(svc.cell("zz").unwrap_err().code, "invalid_key");
-        assert_eq!(svc.cell("00ff").unwrap_err().code, "unknown_cell");
+        assert_eq!(svc.cell("zz", None).unwrap_err().code, "invalid_key");
+        assert_eq!(svc.cell("00ff", None).unwrap_err().code, "unknown_cell");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_fetches_carry_the_header_fnv_etag_and_304_without_decoding() {
+        let (svc, dir) = service("cell-etag");
+        let key = 0x00ffu64;
+        {
+            let mut store =
+                dsmt_store::Store::open(&dir, dsmt_sweep::CACHE_SCHEMA_VERSION).unwrap();
+            store
+                .publish(vec![(
+                    key,
+                    Value::Object(vec![("ipc".to_string(), Value::F64(1.5))]),
+                )])
+                .unwrap();
+        }
+        let fetch = svc.cell("00ff", None).unwrap();
+        let json = fetch.json.expect("cold fetch has a body");
+        assert!(json.contains("ipc"));
+        // The ETag is the per-record FNV from the segment header — knowable
+        // without decoding — and a matching If-None-Match short-circuits.
+        {
+            let transport = svc.transport.lock().unwrap();
+            let Transport::Store(store) = &*transport else {
+                panic!("store transport")
+            };
+            let fnv = store.as_store().record_fnv(key).expect("headered record");
+            assert_eq!(fetch.etag, format!("\"{fnv:016x}\""));
+        }
+        let revalidated = svc.cell("00ff", Some(fetch.etag.as_str())).unwrap();
+        assert_eq!(revalidated.json, None, "matching ETag sends no body");
+        assert_eq!(revalidated.etag, fetch.etag);
+        let miss = svc.cell("00ff", Some("\"0000000000000000\"")).unwrap();
+        assert!(miss.json.is_some(), "stale ETag gets the body again");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

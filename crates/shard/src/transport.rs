@@ -124,7 +124,9 @@ impl ShardStore {
     /// Like [`ShardStore::get`], but distinguishes "nothing under this
     /// shard's key" (`Ok(None)`) from "a record exists but does not
     /// verify as this plan's shard output" (`Err(why)`) — so a merger can
-    /// report a collision or foreign record instead of calling it absent.
+    /// report a collision, foreign record, or byte-level corruption
+    /// (surfaced by the store's lazy verify-on-read) instead of calling
+    /// it absent.
     ///
     /// # Errors
     ///
@@ -134,9 +136,12 @@ impl ShardStore {
         manifest: &ShardManifest,
         index: usize,
     ) -> Result<Option<DsrFile>, String> {
-        match self.store.get(manifest.shard_key(index)) {
-            None => Ok(None),
-            Some(value) => match shard_from_value(manifest, index, value) {
+        match self.store.try_get(manifest.shard_key(index)) {
+            Ok(None) => Ok(None),
+            Err(e) => Err(format!(
+                "the store record under shard {index}'s key failed verification: {e}"
+            )),
+            Ok(Some(value)) => match shard_from_value(manifest, index, value) {
                 Some(file) => Ok(Some(file)),
                 None => Err(format!(
                     "the store record under shard {index}'s key is not a verifiable \

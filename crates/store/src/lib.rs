@@ -47,8 +47,13 @@ pub mod store;
 
 pub use codec::{get_raw_str, get_value, put_value, CodecError, StrTable};
 pub use lock::{atomic_write, Claim, ClaimInfo, Heartbeat, LockFile};
-pub use segment::{Segment, SEGMENT_FORMAT_VERSION};
-pub use store::{is_v2_entry_name, CompactOutcome, GcOutcome, SegmentInfo, Store, StoreError};
+pub use segment::{
+    RecordEntry, Segment, SegmentHeader, LEGACY_SEGMENT_FORMAT_VERSION, SEGMENT_FORMAT_VERSION,
+};
+pub use store::{
+    is_v2_entry_name, CompactOutcome, GcOutcome, IndexMode, SegmentInfo, SegmentRecords, Store,
+    StoreError,
+};
 
 /// Stable 64-bit FNV-1a hash: cache keys, seed derivation, segment names
 /// and every checksum in the persistence layer use this one function.
@@ -60,6 +65,42 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Streaming form of [`fnv1a64`]: feed byte ranges with [`Fnv64::update`]
+/// and take the digest with [`Fnv64::finish`]. Hashing a contiguous buffer
+/// in one `update` equals `fnv1a64` of the same bytes; the streaming form
+/// exists so segment *identity* can hash a file while skipping the ranges
+/// that are not content (the sequence number and the checksums).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest over everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Derives a store key inside a named keyspace: `fnv1a64("{ns}:{ident}")`.
@@ -87,6 +128,18 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn streaming_fnv_matches_one_shot_regardless_of_chunking() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, data.len()] {
+            let mut h = Fnv64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv1a64(data), "split at {split}");
+        }
+        assert_eq!(Fnv64::new().finish(), fnv1a64(b""));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use serde::Value;
 
-use dsmt_store::{Segment, Store};
+use dsmt_store::{fnv1a64, IndexMode, Segment, SegmentHeader, Store};
 
 /// A small random [`Value`] generator: scalars at the leaves, arrays and
 /// objects down to `depth`. Floats are generated from bits so NaN and
@@ -131,6 +131,145 @@ proptest! {
         check(&store);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// The v2 key-directory header must fully describe the records region
+    /// for *any* batch: parsing the header alone (no record bytes
+    /// consulted) recovers every key, a contiguous extent per record, and
+    /// a per-record checksum matching the bytes actually stored there.
+    #[test]
+    fn headers_index_arbitrary_batches_without_decoding_records(
+        seq in any::<u64>(),
+        seeds in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let records: Vec<(u64, Value)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64, random_value(s, 3)))
+            .collect();
+        let seg = Segment::new(records);
+        let bytes = seg.encode_with_seq(seq);
+        let header = SegmentHeader::parse(&bytes).expect("header parses");
+        prop_assert_eq!(header.seq, seq);
+        prop_assert_eq!(header.entries.len(), seg.records.len());
+        let base = header.records_base as usize;
+        prop_assert_eq!(
+            header.records_len() as usize,
+            bytes.len() - base - 8,
+            "directory extents must cover the records region exactly",
+        );
+        for (entry, (key, _)) in header.entries.iter().zip(&seg.records) {
+            prop_assert_eq!(entry.key, *key);
+            let body = &bytes[base + entry.offset as usize..][..entry.len as usize];
+            prop_assert_eq!(entry.fnv, fnv1a64(body), "per-record checksum");
+        }
+        // The full decode agrees with the header's view of the file.
+        let (back, back_seq) = Segment::decode_with_seq(&bytes).expect("decode");
+        prop_assert_eq!(back_seq, seq);
+        prop_assert_eq!(back.records.len(), header.entries.len());
+    }
+
+    /// Flipping any single byte of the header region (everything the
+    /// header checksum covers, prelude included) is fail-stop: the header
+    /// no longer parses and the segment no longer decodes. No panic, no
+    /// silently wrong index.
+    #[test]
+    fn corrupting_any_header_byte_is_fail_stop(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+        victim in any::<u64>(),
+    ) {
+        let records: Vec<(u64, Value)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64, random_value(s, 2)))
+            .collect();
+        let seg = Segment::new(records);
+        let mut bytes = seg.encode_with_seq(9);
+        let header = SegmentHeader::parse(&bytes).expect("pristine header parses");
+        // Hashed region + its trailing checksum = [0, records_base).
+        let pos = (victim % header.records_base) as usize;
+        bytes[pos] ^= 0x40;
+        prop_assert!(SegmentHeader::parse(&bytes).is_err(), "byte {pos}");
+        prop_assert!(Segment::decode(&bytes).is_err(), "byte {pos}");
+    }
+
+    /// A store opened lazily (header index only) and one opened eagerly
+    /// (decode everything up front) must agree on every record, bit for
+    /// bit — lazy decode is an optimization, never a semantic change.
+    #[test]
+    fn lazy_and_eager_opens_agree_on_every_record(
+        case in any::<u64>(),
+        batches in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 1..5),
+            1..4,
+        ),
+    ) {
+        let dir = temp_dir(&format!("lazy-eager-{case}"));
+        let mut store = Store::open_with(&dir, 1, IndexMode::Indexed).expect("open");
+        let mut keys = std::collections::HashSet::new();
+        for (b, batch) in batches.iter().enumerate() {
+            let records: Vec<(u64, Value)> = batch
+                .iter()
+                .map(|&s| (s % 6, random_value(s ^ (b as u64) << 40, 2)))
+                .collect();
+            keys.extend(records.iter().map(|(k, _)| *k));
+            store.publish(records).expect("publish");
+        }
+        let lazy = Store::open_with(&dir, 1, IndexMode::Indexed).expect("lazy open");
+        let eager = Store::open_with(&dir, 1, IndexMode::Eager).expect("eager open");
+        prop_assert_eq!(lazy.record_count(), eager.record_count());
+        for &k in &keys {
+            let a = lazy.get(k).expect("lazy has key");
+            let b = eager.get(k).expect("eager has key");
+            prop_assert!(bits_equal(a, b), "key {k} diverged between modes");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A hand-crafted v2 segment whose directory claims more record bytes
+/// than the file holds — with *valid* header and file checksums, so only
+/// the bounds check can catch it — must be rejected both by the segment
+/// decoder and by an indexed store open.
+#[test]
+fn directory_extents_past_the_records_region_are_rejected() {
+    // magic | version 2 | seq | n_strings=0 | n_records=1
+    // | entry { key, offset 0, len 64, fnv } | header_fnv
+    // | 8-byte records region (too short for len 64) | file_fnv
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"DSRS");
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // seq
+    bytes.push(0); // n_strings = 0
+    bytes.push(1); // n_records = 1
+    bytes.extend_from_slice(&7u64.to_le_bytes()); // key
+    bytes.push(0); // offset uvarint
+    bytes.push(64); // len uvarint: claims 64 bytes
+    let body = [0u8; 8]; // ...but only 8 exist
+    bytes.extend_from_slice(&fnv1a64(&body).to_le_bytes()); // record fnv
+    let header_fnv = fnv1a64(&bytes);
+    bytes.extend_from_slice(&header_fnv.to_le_bytes());
+    bytes.extend_from_slice(&body);
+    let file_fnv = fnv1a64(&bytes);
+    bytes.extend_from_slice(&file_fnv.to_le_bytes());
+
+    // The header itself parses (offsets are contiguous, checksums hold) —
+    // the lie is only visible against the file length.
+    let header = SegmentHeader::parse(&bytes).expect("header checksums hold");
+    assert_eq!(header.records_len(), 64);
+    assert!(Segment::decode(&bytes).is_err(), "decode must bounds-check");
+
+    let dir = temp_dir("oob-extent");
+    drop(Store::open(&dir, 1).expect("create"));
+    let name = format!("seg-{:016x}.dsrs", fnv1a64(&bytes));
+    std::fs::write(dir.join("segments").join(name), &bytes).unwrap();
+    for mode in [IndexMode::Indexed, IndexMode::Eager] {
+        let err = Store::open_with(&dir, 1, mode).expect_err("open must fail-stop");
+        assert!(
+            err.to_string().contains("seg-"),
+            "error names the bad segment: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Two writers publishing concurrently into one store directory (separate

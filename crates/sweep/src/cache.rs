@@ -52,6 +52,9 @@
 //! Recency for the LRU order is the segment file's modification time: a
 //! cache *hit* re-touches the segment, so segments that keep answering
 //! sweeps stay resident while abandoned parameter corners age out first.
+//! Touching is purely an LRU affair — shadow precedence between segments
+//! that repeat a key is the publish sequence number recorded in each
+//! segment's header, so a touch can never promote a stale duplicate.
 
 use std::collections::HashMap;
 use std::path::PathBuf;

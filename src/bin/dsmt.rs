@@ -15,6 +15,8 @@
 //! dsmt sweep gc [--max-bytes N]
 //! dsmt sweep compact
 //! dsmt sweep migrate [--dir DIR]
+//! dsmt store stat <dir>
+//! dsmt store synth <dir> --records N [--per-segment M] [--schema S]
 //! dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
 //! dsmt obs report [snapshot.json|report.json] [--json out.json] [--csv out.csv]
 //! dsmt serve --store DIR [--addr HOST:PORT] [--workers W] [--drain-timeout SECS]
@@ -67,6 +69,7 @@ use dsmt_shard::{
     merge_from, plan, recover, run_shard, shard_file_name, DsrFile, RecoverOptions, ShardManifest,
     ShardState, ShardStrategy, Transport, DEFAULT_HEARTBEAT,
 };
+use dsmt_store::{IndexMode, Store};
 use dsmt_sweep::{
     export, migrate_v2, Axis, CacheMode, ResultCache, SweepEngine, SweepGrid, SweepReport,
     WorkloadSpec,
@@ -86,6 +89,8 @@ USAGE:
   dsmt sweep gc [--max-bytes N]
   dsmt sweep compact
   dsmt sweep migrate [--dir DIR]
+  dsmt store stat <dir>
+  dsmt store synth <dir> --records N [--per-segment M] [--schema S]
   dsmt report <file.dsr|report.json> [--json out.json] [--csv out.csv] [--canonical]
   dsmt obs report [snapshot.json|report.json] [--json out.json] [--csv out.csv]
   dsmt serve --store DIR [--addr HOST:PORT] [--workers W] [--drain-timeout SECS]
@@ -112,6 +117,8 @@ ENVIRONMENT:
   DSMT_INSTS                  instructions per cell for built-in figure grids
   DSMT_SWEEP_CACHE            result store dir, or `off`
   DSMT_SWEEP_CACHE_MAX_BYTES  LRU size cap applied after sweeps and by `sweep gc`
+  DSMT_STORE_EAGER            1|true|yes: decode every record at store open
+                              instead of indexing segment headers lazily
   DSMT_LOG                    structured tracing: off | pretty | jsonl[:FILE]
                               (unset = warnings only, pretty, on stderr)
   DSMT_METRICS                write the metrics registry to this JSON file on exit
@@ -130,6 +137,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("shard") => shard_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("store") => store_cmd(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
         Some("obs") => obs_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
@@ -595,8 +603,14 @@ fn sweep_ls() -> Result<(), String> {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         println!(
-            "  {}  {:>8} bytes  {:>6} records  last used {:>6}s ago",
-            e.name, e.bytes, e.records, age
+            "  {}  v{} seq {:>4}  {:>8} bytes  {:>6} records  {}  last used {:>6}s ago",
+            e.name,
+            e.version,
+            e.seq,
+            e.bytes,
+            e.records,
+            segment_mode(e),
+            age
         );
     }
     if let Some(cap) = CacheMode::max_bytes_from_env() {
@@ -669,6 +683,192 @@ fn sweep_gc(args: &[String]) -> Result<(), String> {
         cap,
     );
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// dsmt store ...
+
+fn store_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("stat") => store_stat(&args[1..]),
+        Some("synth") => store_synth(&args[1..]),
+        _ => Err(format!("usage: dsmt store stat|synth ...\n\n{USAGE}")),
+    }
+}
+
+/// `legacy` marks a pre-header segment that still rides the
+/// decode-everything path even in indexed mode.
+fn segment_mode(e: &dsmt_store::SegmentInfo) -> &'static str {
+    match (e.lazy, e.version) {
+        (true, _) => "indexed",
+        (false, dsmt_store::LEGACY_SEGMENT_FORMAT_VERSION) => "legacy ",
+        (false, _) => "eager  ",
+    }
+}
+
+/// Opens the store (honouring `DSMT_STORE_EAGER`), then prints the open
+/// cost, the header-index counters and a per-segment listing. The
+/// `open_us:` / `header_index_hits:` / `records_lazy_decoded:` lines are
+/// stable, machine-parseable output — CI's store-scale gate greps them.
+fn store_stat(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &[])?;
+    let [dir] = p.positional.as_slice() else {
+        return Err("usage: dsmt store stat <dir>".into());
+    };
+    let dir = PathBuf::from(dir);
+    let schema = Store::marker_schema(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .ok_or_else(|| format!("{}: not a store (no STORE.json marker)", dir.display()))?;
+    let mode = IndexMode::from_env();
+    let started = std::time::Instant::now();
+    let store =
+        Store::open_with(&dir, schema, mode).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let open_us = started.elapsed().as_micros();
+    let segments = store.segment_infos();
+    println!(
+        "store: {} (schema {}, {} segments, {} records, {} bytes)",
+        dir.display(),
+        schema,
+        segments.len(),
+        store.record_count(),
+        store.total_bytes(),
+    );
+    let mode_name = match mode {
+        IndexMode::Indexed => "indexed",
+        IndexMode::Eager => "eager",
+    };
+    println!("open_us: {open_us} (mode: {mode_name})");
+    let registry = dsmt_obs::registry();
+    println!(
+        "header_index_hits: {}",
+        registry.counter("store.header_index_hits").get()
+    );
+    println!(
+        "records_lazy_decoded: {}",
+        registry.counter("store.records_lazy_decoded").get()
+    );
+    let now = std::time::SystemTime::now();
+    for e in &segments {
+        let age = now
+            .duration_since(e.modified)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        println!(
+            "  {}  v{} seq {:>4}  {:>8} bytes  {:>6} records  {}  modified {:>6}s ago",
+            e.name,
+            e.version,
+            e.seq,
+            e.bytes,
+            e.records,
+            segment_mode(e),
+            age
+        );
+    }
+    Ok(())
+}
+
+/// Generates a synthetic store for scale testing: `--records N` records
+/// shaped like sweep cells (a handful of numeric stats plus a small
+/// string-coded enum, so record bodies dominate the segment and the
+/// header directory stays compact), published `--per-segment M` at a
+/// time. CI's store-scale gate uses this to compare indexed vs eager
+/// open cost at 10^5 records without running 10^5 simulations.
+fn store_synth(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["records", "per-segment", "schema"])?;
+    let [dir] = p.positional.as_slice() else {
+        return Err(
+            "usage: dsmt store synth <dir> --records N [--per-segment M] [--schema S]".into(),
+        );
+    };
+    let records = p
+        .usize_flag("records")?
+        .ok_or("--records is required (how many records to generate)")?;
+    let per_segment = p.usize_flag("per-segment")?.unwrap_or(4096).max(1);
+    let schema = match p.flag("schema") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("--schema expects a number, got `{v}`"))?,
+        None => 1,
+    };
+    let mut store =
+        Store::open_with(dir, schema, IndexMode::Indexed).map_err(|e| format!("{dir}: {e}"))?;
+    let mut batch = Vec::with_capacity(per_segment.min(records));
+    let mut segments = 0usize;
+    for n in 0..records as u64 {
+        batch.push((synth_key(n), synth_value(n)));
+        if batch.len() == per_segment {
+            store
+                .publish(std::mem::take(&mut batch))
+                .map_err(|e| e.to_string())?;
+            segments += 1;
+        }
+    }
+    if !batch.is_empty() {
+        store.publish(batch).map_err(|e| e.to_string())?;
+        segments += 1;
+    }
+    println!(
+        "synthesized {}: {} records in {} segments ({} bytes)",
+        store.dir().display(),
+        store.record_count(),
+        segments,
+        store.total_bytes(),
+    );
+    Ok(())
+}
+
+/// A well-mixed synthetic key (splitmix64 finalizer) so the index
+/// exercises realistic hash distribution rather than sequential keys.
+fn synth_key(n: u64) -> u64 {
+    let mut x = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A record shaped like a cached sweep cell: mostly numeric stats under
+/// shared field names (interned once per segment), so eager open pays a
+/// realistic per-record decode cost while the header stays small.
+fn synth_value(n: u64) -> serde::Value {
+    use serde::Value;
+    const MIXES: [&str; 4] = ["int", "fp", "mem", "branchy"];
+    let h = synth_key(n);
+    Value::Object(vec![
+        ("kind".to_string(), Value::Str("synth-cell".to_string())),
+        (
+            "mix".to_string(),
+            Value::Str(MIXES[(n % 4) as usize].to_string()),
+        ),
+        ("seed".to_string(), Value::U64(n)),
+        (
+            "ipc".to_string(),
+            Value::F64(0.5 + (h % 2048) as f64 / 1024.0),
+        ),
+        ("cycles".to_string(), Value::U64(h % 100_000_000)),
+        ("insts".to_string(), Value::U64(h % 10_000_000)),
+        (
+            "stats".to_string(),
+            Value::Object(vec![
+                ("l1_hits".to_string(), Value::U64(h % 1_000_000)),
+                ("l2_hits".to_string(), Value::U64(h % 65_536)),
+                ("mshr_stalls".to_string(), Value::U64(h % 4_096)),
+                ("bus_busy".to_string(), Value::F64((h % 97) as f64 / 97.0)),
+                ("fetch_mask".to_string(), Value::U64(h & 0xff)),
+            ]),
+        ),
+        (
+            "latency_hist".to_string(),
+            Value::Array((0..8).map(|i| Value::U64((h >> (i * 8)) & 0xff)).collect()),
+        ),
+        (
+            "unit_busy".to_string(),
+            Value::Array(
+                (0..6)
+                    .map(|i| Value::F64(((h >> i) % 101) as f64 / 101.0))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 // ---------------------------------------------------------------------------
