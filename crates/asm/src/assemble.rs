@@ -1,0 +1,884 @@
+//! The two-pass assembler: source text → [`Program`].
+//!
+//! Pass 1 lexes and parses every line, placing statements at the running
+//! location counter (instructions advance it by [`INST_BYTES`], `.word`
+//! cells by 8, `.org` sets it) and recording label definitions. Pass 2
+//! resolves label references — branch targets, `li` immediates, `.word`
+//! values — and lowers each statement to a semantic [`ProgOp`].
+//!
+//! The grammar (one statement per line, `#` or `;` starts a comment):
+//!
+//! ```text
+//! line     := [label ':'] [stmt] [comment]
+//! stmt     := directive | inst
+//! directive:= '.org' expr | '.word' expr (',' expr)*
+//! expr     := number | label
+//! number   := ['-'] (decimal | '0x' hex)
+//! inst     := 'li'    ireg ',' expr
+//!           | alu     ireg ',' ireg ',' ireg      ; add sub and or xor sll srl mul
+//!           | alu-i   ireg ',' ireg ',' number    ; addi subi andi ori xori slli srli muli
+//!           | fp      freg ',' freg ',' freg      ; fadd fmul fdiv
+//!           | 'ldq'   ireg ',' number '(' ireg ')'
+//!           | 'ldt'   freg ',' number '(' ireg ')'
+//!           | 'stq'   ireg ',' number '(' ireg ')'
+//!           | 'stt'   freg ',' number '(' ireg ')'
+//!           | 'bz'|'bnz'  ireg ',' expr
+//!           | 'blt'|'bge' ireg ',' ireg ',' expr
+//!           | 'br'    expr
+//!           | 'jmp'   ireg
+//!           | 'nop' | 'halt'
+//! ```
+//!
+//! Every error carries a 1-based line/column span; the assembler never
+//! panics, whatever bytes it is fed.
+
+use std::collections::HashMap;
+
+use dsmt_isa::{ArchReg, OpClass, RegClass, NUM_INT_REGS};
+use dsmt_trace::{AluOp, Cond, Operand, ProgInst, ProgOp, Program, INST_BYTES};
+
+use crate::{AsmError, AsmErrorKind};
+
+/// One lexed token with its 1-based column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok<'a> {
+    /// Identifier, directive (leading `.`) or register name.
+    Ident(&'a str),
+    /// A 64-bit literal (negatives are wrapped, hex accepted).
+    Num(i64),
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned<'a> {
+    tok: Tok<'a>,
+    col: u32,
+}
+
+fn lex_line(line: &str, lineno: u32) -> Result<Vec<Spanned<'_>>, AsmError> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let col = (line[..i].chars().count() + 1) as u32;
+        let c = bytes[i];
+        match c {
+            b'#' | b';' => break,
+            b' ' | b'\t' | b'\r' => i += 1,
+            b',' => {
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    col,
+                });
+                i += 1;
+            }
+            b':' => {
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    col,
+                });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    col,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    col,
+                });
+                i += 1;
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'x')
+                {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                let value = parse_number(text).ok_or_else(|| {
+                    AsmError::new(lineno, col, AsmErrorKind::BadNumber(text.into()))
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Num(value),
+                    col,
+                });
+            }
+            b'.' | b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(&line[start..i]),
+                    col,
+                });
+            }
+            _ => {
+                // Fall back to the char at this byte position (the input
+                // may be arbitrary UTF-8).
+                let ch = line[i..].chars().next().unwrap_or('\u{fffd}');
+                return Err(AsmError::new(lineno, col, AsmErrorKind::UnexpectedChar(ch)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a literal: optional `-`, then decimal or `0x` hex. Underscores
+/// are digit separators. Out-of-range values return `None`.
+fn parse_number(text: &str) -> Option<i64> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let cleaned: String = body.chars().filter(|&c| c != '_').collect();
+    let hex = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"));
+    let (is_hex, magnitude) = match hex {
+        Some(digits) => (true, u64::from_str_radix(digits, 16).ok()?),
+        None => (false, cleaned.parse::<u64>().ok()?),
+    };
+    if neg {
+        // -2^63 ..= 0
+        if magnitude > (1u64 << 63) {
+            return None;
+        }
+        Some((magnitude as i64).wrapping_neg())
+    } else if magnitude <= i64::MAX as u64 {
+        Some(magnitude as i64)
+    } else if is_hex {
+        // Full-range u64 hex literals (masks, addresses) wrap into the i64
+        // carrier; the interpreter computes in u64 anyway.
+        Some(magnitude as i64)
+    } else {
+        None
+    }
+}
+
+/// A not-yet-resolved value: a literal or a label reference.
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i64),
+    Label(String, u32),
+}
+
+/// A statement awaiting label resolution.
+#[derive(Debug)]
+enum Pending {
+    LoadImm {
+        dest: ArchReg,
+        imm: Expr,
+    },
+    IntAlu {
+        alu: AluOp,
+        dest: ArchReg,
+        src1: ArchReg,
+        rhs: PendingRhs,
+    },
+    IntMul {
+        dest: ArchReg,
+        src1: ArchReg,
+        rhs: PendingRhs,
+    },
+    Fp {
+        op: OpClass,
+        dest: ArchReg,
+        src1: ArchReg,
+        src2: ArchReg,
+    },
+    Load {
+        dest: ArchReg,
+        base: ArchReg,
+        disp: i64,
+    },
+    Store {
+        src: ArchReg,
+        base: ArchReg,
+        disp: i64,
+    },
+    CondBranch {
+        cond: Cond,
+        src1: ArchReg,
+        src2: Option<ArchReg>,
+        target: Expr,
+    },
+    Branch {
+        target: Expr,
+    },
+    Jump {
+        src: ArchReg,
+    },
+    Nop,
+    Halt,
+}
+
+#[derive(Debug)]
+enum PendingRhs {
+    Reg(ArchReg),
+    Imm(i64),
+}
+
+/// Cursor over one line's tokens.
+struct Cursor<'a, 'b> {
+    toks: &'b [Spanned<'a>],
+    pos: usize,
+    line: u32,
+    /// Column just past the last consumed token (for end-of-line errors).
+    end_col: u32,
+}
+
+impl<'a, 'b> Cursor<'a, 'b> {
+    fn new(toks: &'b [Spanned<'a>], line: u32) -> Self {
+        Cursor {
+            toks,
+            pos: 0,
+            line,
+            end_col: toks.last().map_or(1, |t| t.col + 1),
+        }
+    }
+
+    fn peek(&self) -> Option<Spanned<'a>> {
+        self.toks.get(self.pos).cloned()
+    }
+
+    fn next(&mut self) -> Option<Spanned<'a>> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, col: u32, kind: AsmErrorKind) -> AsmError {
+        AsmError::new(self.line, col, kind)
+    }
+
+    fn here(&self) -> u32 {
+        self.peek().map_or(self.end_col, |t| t.col)
+    }
+
+    fn expect_comma(&mut self) -> Result<(), AsmError> {
+        let col = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Comma, ..
+            }) => Ok(()),
+            _ => Err(self.err(col, AsmErrorKind::Expected("`,`"))),
+        }
+    }
+
+    fn expect_reg(&mut self, want: RegClass) -> Result<ArchReg, AsmError> {
+        let at = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                col,
+            }) => {
+                let reg = parse_reg(name)
+                    .ok_or_else(|| self.err(col, AsmErrorKind::BadRegister(name.into())))?;
+                if reg.class() != want {
+                    return Err(self.err(col, AsmErrorKind::WrongRegClass { want }));
+                }
+                Ok(reg)
+            }
+            _ => Err(self.err(at, AsmErrorKind::Expected("a register"))),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<i64, AsmError> {
+        let at = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Num(n), ..
+            }) => Ok(n),
+            _ => Err(self.err(at, AsmErrorKind::Expected("a number"))),
+        }
+    }
+
+    /// A literal or a label reference.
+    fn expect_expr(&mut self) -> Result<Expr, AsmError> {
+        let at = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Num(n), ..
+            }) => Ok(Expr::Num(n)),
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                col,
+            }) => {
+                if parse_reg(name).is_some() {
+                    return Err(self.err(col, AsmErrorKind::Expected("a number or label")));
+                }
+                Ok(Expr::Label(name.into(), col))
+            }
+            _ => Err(self.err(at, AsmErrorKind::Expected("a number or label"))),
+        }
+    }
+
+    /// `disp '(' reg ')'` — the memory operand.
+    fn expect_mem_operand(&mut self) -> Result<(i64, ArchReg), AsmError> {
+        let disp = self.expect_num()?;
+        let at = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {}
+            _ => return Err(self.err(at, AsmErrorKind::Expected("`(`"))),
+        }
+        let base = self.expect_reg(RegClass::Int)?;
+        let at = self.here();
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::RParen, ..
+            }) => {}
+            _ => return Err(self.err(at, AsmErrorKind::Expected("`)`"))),
+        }
+        Ok((disp, base))
+    }
+
+    fn expect_end(&self) -> Result<(), AsmError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(t.col, AsmErrorKind::TrailingTokens)),
+        }
+    }
+}
+
+pub(crate) fn parse_reg(name: &str) -> Option<ArchReg> {
+    let class = match name.as_bytes().first()? {
+        b'r' => RegClass::Int,
+        b'f' => RegClass::Fp,
+        _ => return None,
+    };
+    // Reject `r07`-style and non-digit tails so labels like `result` stay
+    // labels.
+    let index = &name[1..];
+    if index.is_empty() || index.len() > 2 || !index.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if index.len() == 2 && index.starts_with('0') {
+        return None;
+    }
+    let index: u8 = index.parse().ok()?;
+    if usize::from(index) >= NUM_INT_REGS {
+        return None;
+    }
+    Some(ArchReg::new(class, index))
+}
+
+/// Integer three-operand mnemonics and their semantics.
+fn alu_mnemonic(name: &str) -> Option<(AluOp, bool)> {
+    Some(match name {
+        "add" => (AluOp::Add, false),
+        "addi" => (AluOp::Add, true),
+        "sub" => (AluOp::Sub, false),
+        "subi" => (AluOp::Sub, true),
+        "and" => (AluOp::And, false),
+        "andi" => (AluOp::And, true),
+        "or" => (AluOp::Or, false),
+        "ori" => (AluOp::Or, true),
+        "xor" => (AluOp::Xor, false),
+        "xori" => (AluOp::Xor, true),
+        "sll" => (AluOp::Sll, false),
+        "slli" => (AluOp::Sll, true),
+        "srl" => (AluOp::Srl, false),
+        "srli" => (AluOp::Srl, true),
+        _ => return None,
+    })
+}
+
+fn fp_mnemonic(name: &str) -> Option<OpClass> {
+    Some(match name {
+        "fadd" => OpClass::FpAdd,
+        "fmul" => OpClass::FpMul,
+        "fdiv" => OpClass::FpDiv,
+        _ => return None,
+    })
+}
+
+fn parse_inst(cur: &mut Cursor<'_, '_>, mnemonic: &str, col: u32) -> Result<Pending, AsmError> {
+    if let Some((alu, imm)) = alu_mnemonic(mnemonic) {
+        let dest = cur.expect_reg(RegClass::Int)?;
+        cur.expect_comma()?;
+        let src1 = cur.expect_reg(RegClass::Int)?;
+        cur.expect_comma()?;
+        let rhs = if imm {
+            PendingRhs::Imm(cur.expect_num()?)
+        } else {
+            PendingRhs::Reg(cur.expect_reg(RegClass::Int)?)
+        };
+        return Ok(Pending::IntAlu {
+            alu,
+            dest,
+            src1,
+            rhs,
+        });
+    }
+    if let Some(op) = fp_mnemonic(mnemonic) {
+        let dest = cur.expect_reg(RegClass::Fp)?;
+        cur.expect_comma()?;
+        let src1 = cur.expect_reg(RegClass::Fp)?;
+        cur.expect_comma()?;
+        let src2 = cur.expect_reg(RegClass::Fp)?;
+        return Ok(Pending::Fp {
+            op,
+            dest,
+            src1,
+            src2,
+        });
+    }
+    match mnemonic {
+        "li" => {
+            let dest = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let imm = cur.expect_expr()?;
+            Ok(Pending::LoadImm { dest, imm })
+        }
+        "mul" | "muli" => {
+            let dest = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let src1 = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let rhs = if mnemonic == "muli" {
+                PendingRhs::Imm(cur.expect_num()?)
+            } else {
+                PendingRhs::Reg(cur.expect_reg(RegClass::Int)?)
+            };
+            Ok(Pending::IntMul { dest, src1, rhs })
+        }
+        "ldq" | "ldt" => {
+            let class = if mnemonic == "ldq" {
+                RegClass::Int
+            } else {
+                RegClass::Fp
+            };
+            let dest = cur.expect_reg(class)?;
+            cur.expect_comma()?;
+            let (disp, base) = cur.expect_mem_operand()?;
+            Ok(Pending::Load { dest, base, disp })
+        }
+        "stq" | "stt" => {
+            let class = if mnemonic == "stq" {
+                RegClass::Int
+            } else {
+                RegClass::Fp
+            };
+            let src = cur.expect_reg(class)?;
+            cur.expect_comma()?;
+            let (disp, base) = cur.expect_mem_operand()?;
+            Ok(Pending::Store { src, base, disp })
+        }
+        "bz" | "bnz" => {
+            let cond = if mnemonic == "bz" {
+                Cond::Eq0
+            } else {
+                Cond::Ne0
+            };
+            let src1 = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let target = cur.expect_expr()?;
+            Ok(Pending::CondBranch {
+                cond,
+                src1,
+                src2: None,
+                target,
+            })
+        }
+        "blt" | "bge" => {
+            let cond = if mnemonic == "blt" {
+                Cond::Lt
+            } else {
+                Cond::Ge
+            };
+            let src1 = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let src2 = cur.expect_reg(RegClass::Int)?;
+            cur.expect_comma()?;
+            let target = cur.expect_expr()?;
+            Ok(Pending::CondBranch {
+                cond,
+                src1,
+                src2: Some(src2),
+                target,
+            })
+        }
+        "br" => Ok(Pending::Branch {
+            target: cur.expect_expr()?,
+        }),
+        "jmp" => Ok(Pending::Jump {
+            src: cur.expect_reg(RegClass::Int)?,
+        }),
+        "nop" => Ok(Pending::Nop),
+        "halt" => Ok(Pending::Halt),
+        other => Err(cur.err(col, AsmErrorKind::UnknownMnemonic(other.into()))),
+    }
+}
+
+/// Assembles `source` into a named [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its line/column span.
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut code: Vec<(u32, u64, Pending)> = Vec::new();
+    let mut data: Vec<(u32, u64, Expr)> = Vec::new();
+    let mut loc: u64 = 0;
+
+    // Pass 1: parse statements, place them, collect label definitions.
+    for (i, raw_line) in source.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let toks = lex_line(raw_line, lineno)?;
+        let mut cur = Cursor::new(&toks, lineno);
+        // Leading `label:` definitions (possibly several).
+        while let (Some(first), Some(second)) = (cur.peek(), cur.toks.get(cur.pos + 1).cloned()) {
+            let (Tok::Ident(name), Tok::Colon) = (first.tok, second.tok) else {
+                break;
+            };
+            if parse_reg(name).is_some() || name.starts_with('.') {
+                return Err(cur.err(first.col, AsmErrorKind::Expected("a label name")));
+            }
+            if labels.insert(name.into(), loc).is_some() {
+                return Err(cur.err(first.col, AsmErrorKind::DuplicateLabel(name.into())));
+            }
+            cur.pos += 2;
+        }
+        let Some(Spanned { tok, col }) = cur.peek() else {
+            continue; // blank / comment / label-only line
+        };
+        match tok {
+            Tok::Ident(word) if word.starts_with('.') => {
+                cur.pos += 1;
+                match word {
+                    ".org" => {
+                        let value = cur.expect_num()?;
+                        loc = value as u64;
+                    }
+                    ".word" => loop {
+                        let value = cur.expect_expr()?;
+                        data.push((lineno, loc, value));
+                        loc = loc.wrapping_add(8);
+                        if matches!(
+                            cur.peek(),
+                            Some(Spanned {
+                                tok: Tok::Comma,
+                                ..
+                            })
+                        ) {
+                            cur.pos += 1;
+                        } else {
+                            break;
+                        }
+                    },
+                    other => return Err(cur.err(col, AsmErrorKind::UnknownDirective(other.into()))),
+                }
+                cur.expect_end()?;
+            }
+            Tok::Ident(word) => {
+                cur.pos += 1;
+                let pending = parse_inst(&mut cur, word, col)?;
+                cur.expect_end()?;
+                code.push((lineno, loc, pending));
+                loc = loc.wrapping_add(INST_BYTES);
+            }
+            _ => return Err(cur.err(col, AsmErrorKind::Expected("a mnemonic or directive"))),
+        }
+    }
+
+    // Pass 2: resolve labels, check placements, lower to ProgOps.
+    let resolve = |expr: &Expr, line: u32| -> Result<i64, AsmError> {
+        match expr {
+            Expr::Num(n) => Ok(*n),
+            Expr::Label(name, col) => labels
+                .get(name)
+                .map(|&a| a as i64)
+                .ok_or_else(|| AsmError::new(line, *col, AsmErrorKind::UnknownLabel(name.clone()))),
+        }
+    };
+
+    let mut placed: HashMap<u64, u32> = HashMap::new();
+    let mut insts = Vec::with_capacity(code.len());
+    for (line, pc, pending) in &code {
+        if placed.insert(*pc, *line).is_some() {
+            return Err(AsmError::new(
+                *line,
+                1,
+                AsmErrorKind::OverlappingPlacement(*pc),
+            ));
+        }
+        let op = match pending {
+            Pending::LoadImm { dest, imm } => ProgOp::LoadImm {
+                dest: *dest,
+                imm: resolve(imm, *line)?,
+            },
+            Pending::IntAlu {
+                alu,
+                dest,
+                src1,
+                rhs,
+            } => ProgOp::IntAlu {
+                alu: *alu,
+                dest: *dest,
+                src1: *src1,
+                rhs: match rhs {
+                    PendingRhs::Reg(r) => Operand::Reg(*r),
+                    PendingRhs::Imm(i) => Operand::Imm(*i),
+                },
+            },
+            Pending::IntMul { dest, src1, rhs } => ProgOp::IntMul {
+                dest: *dest,
+                src1: *src1,
+                rhs: match rhs {
+                    PendingRhs::Reg(r) => Operand::Reg(*r),
+                    PendingRhs::Imm(i) => Operand::Imm(*i),
+                },
+            },
+            Pending::Fp {
+                op,
+                dest,
+                src1,
+                src2,
+            } => ProgOp::Fp {
+                op: *op,
+                dest: *dest,
+                src1: *src1,
+                src2: *src2,
+            },
+            Pending::Load { dest, base, disp } => ProgOp::Load {
+                dest: *dest,
+                base: *base,
+                disp: *disp,
+            },
+            Pending::Store { src, base, disp } => ProgOp::Store {
+                src: *src,
+                base: *base,
+                disp: *disp,
+            },
+            Pending::CondBranch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => ProgOp::CondBranch {
+                cond: *cond,
+                src1: *src1,
+                src2: *src2,
+                target: resolve(target, *line)? as u64,
+            },
+            Pending::Branch { target } => ProgOp::Branch {
+                target: resolve(target, *line)? as u64,
+            },
+            Pending::Jump { src } => ProgOp::Jump { src: *src },
+            Pending::Nop => ProgOp::Nop,
+            Pending::Halt => ProgOp::Halt,
+        };
+        insts.push(ProgInst { pc: *pc, op });
+    }
+    if insts.is_empty() {
+        return Err(AsmError::new(1, 1, AsmErrorKind::EmptyProgram));
+    }
+
+    let mut image = Vec::with_capacity(data.len());
+    for (line, addr, expr) in &data {
+        let cell = *addr & !7;
+        if placed.insert(cell, *line).is_some() {
+            return Err(AsmError::new(
+                *line,
+                1,
+                AsmErrorKind::OverlappingPlacement(cell),
+            ));
+        }
+        image.push((*addr, resolve(expr, *line)? as u64));
+    }
+
+    dsmt_obs::counter!("asm.programs_assembled").inc();
+    dsmt_obs::counter!("asm.instructions_assembled").add(insts.len() as u64);
+    Ok(Program::new(name, insts, image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmt_trace::TraceSource;
+
+    #[test]
+    fn assembles_a_counted_loop() {
+        let src = "
+        .org 0x1000
+start:  li   r1, 3
+loop:   subi r1, r1, 1
+        bnz  r1, loop
+        halt
+";
+        let p = assemble("loop", src).unwrap();
+        assert_eq!(p.entry, 0x1000);
+        assert_eq!(p.len(), 4);
+        let insts = p.expand(1, 9);
+        // One pass is li, then 3 × (subi, bnz) = 7 instructions; the halt
+        // restarts the program, so the budget of 9 spills into pass two.
+        assert_eq!(insts.len(), 9);
+        assert_eq!(insts[0].pc, 0x1000);
+        let outcomes: Vec<bool> = insts[..7]
+            .iter()
+            .filter_map(|i| i.branch.map(|b| b.taken))
+            .collect();
+        assert_eq!(outcomes, vec![true, true, false]);
+        assert_eq!(insts[7].pc, 0x1000, "restart re-enters at the entry pc");
+    }
+
+    #[test]
+    fn label_as_li_immediate_and_word_directive() {
+        let src = "
+        li   r1, table
+        ldq  r2, 0(r1)
+        halt
+        .org 0x100
+table:  .word 0xdead, 17
+";
+        let p = assemble("t", src).unwrap();
+        assert_eq!(p.data, vec![(0x100, 0xdead), (0x108, 17)]);
+        let insts = p.expand(0, 2);
+        assert_eq!(insts[1].mem.unwrap().addr, 0x100);
+    }
+
+    #[test]
+    fn full_grammar_smoke() {
+        let src = "
+start:  li   r1, -8
+        add  r2, r1, r1
+        addi r2, r2, 5
+        mul  r3, r2, r2
+        muli r3, r3, 3
+        xor  r4, r3, r2
+        ori  r4, r4, 1
+        slli r5, r4, 2
+        srl  r5, r5, r1
+        fadd f1, f2, f3
+        fmul f2, f1, f1
+        fdiv f3, f2, f1
+        ldt  f4, 8(r5)
+        stt  f4, -8(r5)
+        stq  r4, 0(r5)
+        bz   r4, skip
+        nop
+skip:   blt  r1, r2, start
+        bge  r2, r1, skip
+        jmp  r1
+        br   start
+        halt
+";
+        let p = assemble("smoke", src).unwrap();
+        assert_eq!(p.len(), 22);
+        // Every emitted record must be structurally valid.
+        let mut t = dsmt_trace::ProgramTrace::new(p, 5, 0).with_budget(200);
+        let mut n = 0;
+        while let Some(inst) = t.next_instruction() {
+            inst.validate().unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn corpus_assembles() {
+        for (name, source) in crate::corpus::CORPUS {
+            let p = assemble(name, source).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.len() > 4, "{name} suspiciously small");
+            for inst in p.expand(3, 2000) {
+                inst.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = assemble("x", "        frob r1, r2").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 9));
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+
+        let e = assemble("x", "li r1, 1\nadd r1, f2, r3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(
+            e.kind,
+            AsmErrorKind::WrongRegClass {
+                want: RegClass::Int
+            }
+        ));
+
+        let e = assemble("x", "bz r1, nowhere").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownLabel(_)));
+        assert_eq!((e.line, e.col), (1, 8));
+
+        let e = assemble("x", "a: nop\na: nop").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(_)));
+
+        let e = assemble("x", "li r1, 1 li r2, 2").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::TrailingTokens));
+
+        let e = assemble("x", "# nothing\n\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::EmptyProgram));
+
+        let e = assemble("x", "nop\n.org 0\nnop").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::OverlappingPlacement(0)));
+
+        let e = assemble("x", "li r99, 1").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadRegister(_)));
+
+        let e = assemble("x", "li r1, 99999999999999999999").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadNumber(_)));
+
+        let e = assemble("x", ".frob 1").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownDirective(_)));
+
+        let e = assemble("x", "li r1, 1 @").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnexpectedChar('@')));
+    }
+
+    #[test]
+    fn number_forms() {
+        assert_eq!(parse_number("42"), Some(42));
+        assert_eq!(parse_number("-42"), Some(-42));
+        assert_eq!(parse_number("0x10"), Some(16));
+        assert_eq!(parse_number("0X10"), Some(16));
+        assert_eq!(parse_number("-0x10"), Some(-16));
+        assert_eq!(parse_number("1_000"), Some(1000));
+        assert_eq!(
+            parse_number("0xffffffffffffffff"),
+            Some(-1),
+            "full-range hex wraps into the i64 carrier"
+        );
+        assert_eq!(parse_number("-0x8000000000000000"), Some(i64::MIN));
+        assert_eq!(parse_number("-0x8000000000000001"), None);
+        assert_eq!(parse_number("18446744073709551616"), None);
+        assert_eq!(parse_number("12ab"), None);
+        assert_eq!(parse_number("-"), None);
+        assert_eq!(parse_number("0x"), None);
+    }
+
+    #[test]
+    fn register_names() {
+        assert_eq!(parse_reg("r0"), Some(ArchReg::int(0)));
+        assert_eq!(parse_reg("r31"), Some(ArchReg::int(31)));
+        assert_eq!(parse_reg("f7"), Some(ArchReg::fp(7)));
+        assert_eq!(parse_reg("r32"), None);
+        assert_eq!(parse_reg("r07"), None);
+        assert_eq!(parse_reg("r"), None);
+        assert_eq!(parse_reg("rax"), None);
+        assert_eq!(parse_reg("result"), None);
+        assert_eq!(parse_reg("x1"), None);
+    }
+}

@@ -1,0 +1,523 @@
+//! Binary encoding of assembled programs (the `dsmt asm build` artifact
+//! and the golden-fixture format).
+//!
+//! Layout (varints are the canonical LEB128 of [`dsmt_isa::varint`]):
+//!
+//! ```text
+//! magic    8 bytes  "DSMTASM1"
+//! name     uvarint length + UTF-8 bytes
+//! code     uvarint count, then per instruction:
+//!            pc     ivarint delta from the previous instruction's pc
+//!            tag    u8 (operation, see below)
+//!            ...    tag-specific fields
+//! data     uvarint count, then per cell:
+//!            addr   ivarint delta from the previous cell's address
+//!            value  uvarint
+//! checksum u64 LE   FNV-1a 64 of every preceding byte
+//! ```
+//!
+//! Registers are one byte (bit 7 = FP class, bits 0–5 = index); ALU and
+//! condition codes are one byte each. Canonical varints plus the trailing
+//! checksum give every program exactly one byte representation, so golden
+//! tests can compare artifacts byte-for-byte and any corruption is
+//! fail-stop.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use dsmt_isa::{
+    fnv1a64, get_ivarint, get_uvarint, put_ivarint, put_uvarint, ArchReg, OpClass, VarintError,
+    NUM_INT_REGS,
+};
+use dsmt_trace::{AluOp, Cond, Operand, ProgInst, ProgOp, Program};
+
+/// Magic bytes identifying an assembled-program artifact (version 1).
+pub const PROGRAM_MAGIC: &[u8; 8] = b"DSMTASM1";
+
+/// Errors from decoding an assembled-program artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramBinError {
+    /// The buffer does not start with [`PROGRAM_MAGIC`].
+    BadMagic,
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The trailing FNV checksum does not match the contents.
+    ChecksumMismatch,
+    /// A varint field is truncated or non-canonical.
+    BadVarint(VarintError),
+    /// A field holds an impossible value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProgramBinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramBinError::BadMagic => write!(f, "not a DSMT program artifact (bad magic)"),
+            ProgramBinError::Truncated => write!(f, "program artifact ends prematurely"),
+            ProgramBinError::ChecksumMismatch => {
+                write!(
+                    f,
+                    "program artifact checksum mismatch (corrupt or truncated)"
+                )
+            }
+            ProgramBinError::BadVarint(e) => write!(f, "malformed program varint: {e}"),
+            ProgramBinError::Malformed(what) => write!(f, "malformed program artifact: {what}"),
+        }
+    }
+}
+
+impl Error for ProgramBinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProgramBinError::BadVarint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VarintError> for ProgramBinError {
+    fn from(e: VarintError) -> Self {
+        ProgramBinError::BadVarint(e)
+    }
+}
+
+// Operation tags.
+const TAG_LOAD_IMM: u8 = 0;
+const TAG_INT_ALU_REG: u8 = 1;
+const TAG_INT_ALU_IMM: u8 = 2;
+const TAG_INT_MUL_REG: u8 = 3;
+const TAG_INT_MUL_IMM: u8 = 4;
+const TAG_FP: u8 = 5;
+const TAG_LOAD: u8 = 6;
+const TAG_STORE: u8 = 7;
+const TAG_COND_BRANCH: u8 = 8;
+const TAG_COND_BRANCH2: u8 = 9;
+const TAG_BRANCH: u8 = 10;
+const TAG_JUMP: u8 = 11;
+const TAG_NOP: u8 = 12;
+const TAG_HALT: u8 = 13;
+
+const REG_FP_BIT: u8 = 1 << 7;
+
+fn reg_byte(reg: ArchReg) -> u8 {
+    let class = if reg.is_fp() { REG_FP_BIT } else { 0 };
+    class | (reg.index() & 0x3f)
+}
+
+fn alu_byte(alu: AluOp) -> u8 {
+    match alu {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+    }
+}
+
+fn cond_byte(cond: Cond) -> u8 {
+    match cond {
+        Cond::Eq0 => 0,
+        Cond::Ne0 => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+    }
+}
+
+/// Encodes `program` into its canonical artifact bytes.
+#[must_use]
+pub fn encode_program(program: &Program) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(program.code.len() * 6 + program.data.len() * 4 + 64);
+    buf.put_slice(PROGRAM_MAGIC);
+    let name = program.name.as_bytes();
+    put_uvarint(&mut buf, name.len() as u64);
+    buf.put_slice(name);
+    put_uvarint(&mut buf, program.code.len() as u64);
+    let mut prev_pc: u64 = 0;
+    for inst in &program.code {
+        put_ivarint(&mut buf, inst.pc.wrapping_sub(prev_pc) as i64);
+        prev_pc = inst.pc;
+        match inst.op {
+            ProgOp::LoadImm { dest, imm } => {
+                buf.put_u8(TAG_LOAD_IMM);
+                buf.put_u8(reg_byte(dest));
+                put_ivarint(&mut buf, imm);
+            }
+            ProgOp::IntAlu {
+                alu,
+                dest,
+                src1,
+                rhs,
+            } => {
+                match rhs {
+                    Operand::Reg(r) => {
+                        buf.put_u8(TAG_INT_ALU_REG);
+                        buf.put_u8(alu_byte(alu));
+                        buf.put_u8(reg_byte(dest));
+                        buf.put_u8(reg_byte(src1));
+                        buf.put_u8(reg_byte(r));
+                    }
+                    Operand::Imm(i) => {
+                        buf.put_u8(TAG_INT_ALU_IMM);
+                        buf.put_u8(alu_byte(alu));
+                        buf.put_u8(reg_byte(dest));
+                        buf.put_u8(reg_byte(src1));
+                        put_ivarint(&mut buf, i);
+                    }
+                };
+            }
+            ProgOp::IntMul { dest, src1, rhs } => match rhs {
+                Operand::Reg(r) => {
+                    buf.put_u8(TAG_INT_MUL_REG);
+                    buf.put_u8(reg_byte(dest));
+                    buf.put_u8(reg_byte(src1));
+                    buf.put_u8(reg_byte(r));
+                }
+                Operand::Imm(i) => {
+                    buf.put_u8(TAG_INT_MUL_IMM);
+                    buf.put_u8(reg_byte(dest));
+                    buf.put_u8(reg_byte(src1));
+                    put_ivarint(&mut buf, i);
+                }
+            },
+            ProgOp::Fp {
+                op,
+                dest,
+                src1,
+                src2,
+            } => {
+                buf.put_u8(TAG_FP);
+                buf.put_u8(op.tag());
+                buf.put_u8(reg_byte(dest));
+                buf.put_u8(reg_byte(src1));
+                buf.put_u8(reg_byte(src2));
+            }
+            ProgOp::Load { dest, base, disp } => {
+                buf.put_u8(TAG_LOAD);
+                buf.put_u8(reg_byte(dest));
+                buf.put_u8(reg_byte(base));
+                put_ivarint(&mut buf, disp);
+            }
+            ProgOp::Store { src, base, disp } => {
+                buf.put_u8(TAG_STORE);
+                buf.put_u8(reg_byte(src));
+                buf.put_u8(reg_byte(base));
+                put_ivarint(&mut buf, disp);
+            }
+            ProgOp::CondBranch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
+                match src2 {
+                    Some(s2) => {
+                        buf.put_u8(TAG_COND_BRANCH2);
+                        buf.put_u8(cond_byte(cond));
+                        buf.put_u8(reg_byte(src1));
+                        buf.put_u8(reg_byte(s2));
+                    }
+                    None => {
+                        buf.put_u8(TAG_COND_BRANCH);
+                        buf.put_u8(cond_byte(cond));
+                        buf.put_u8(reg_byte(src1));
+                    }
+                }
+                put_uvarint(&mut buf, target);
+            }
+            ProgOp::Branch { target } => {
+                buf.put_u8(TAG_BRANCH);
+                put_uvarint(&mut buf, target);
+            }
+            ProgOp::Jump { src } => {
+                buf.put_u8(TAG_JUMP);
+                buf.put_u8(reg_byte(src));
+            }
+            ProgOp::Nop => buf.put_u8(TAG_NOP),
+            ProgOp::Halt => buf.put_u8(TAG_HALT),
+        }
+    }
+    put_uvarint(&mut buf, program.data.len() as u64);
+    let mut prev_addr: u64 = 0;
+    for &(addr, value) in &program.data {
+        put_ivarint(&mut buf, addr.wrapping_sub(prev_addr) as i64);
+        prev_addr = addr;
+        put_uvarint(&mut buf, value);
+    }
+    let checksum = fnv1a64(&buf);
+    buf.put_u64_le(checksum);
+    buf
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, ProgramBinError> {
+    if !buf.has_remaining() {
+        return Err(ProgramBinError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_reg(buf: &mut &[u8], want_fp: Option<bool>) -> Result<ArchReg, ProgramBinError> {
+    let byte = get_u8(buf)?;
+    if byte & 0x40 != 0 {
+        return Err(ProgramBinError::Malformed("register byte has bit 6 set"));
+    }
+    let index = byte & 0x3f;
+    if usize::from(index) >= NUM_INT_REGS {
+        return Err(ProgramBinError::Malformed("register index out of range"));
+    }
+    let is_fp = byte & REG_FP_BIT != 0;
+    if let Some(want) = want_fp {
+        if want != is_fp {
+            return Err(ProgramBinError::Malformed("register class mismatch"));
+        }
+    }
+    Ok(if is_fp {
+        ArchReg::fp(index)
+    } else {
+        ArchReg::int(index)
+    })
+}
+
+fn get_alu(buf: &mut &[u8]) -> Result<AluOp, ProgramBinError> {
+    Ok(match get_u8(buf)? {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Sll,
+        6 => AluOp::Srl,
+        _ => return Err(ProgramBinError::Malformed("unknown alu code")),
+    })
+}
+
+fn get_cond(buf: &mut &[u8]) -> Result<Cond, ProgramBinError> {
+    Ok(match get_u8(buf)? {
+        0 => Cond::Eq0,
+        1 => Cond::Ne0,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        _ => return Err(ProgramBinError::Malformed("unknown condition code")),
+    })
+}
+
+/// Decodes an artifact produced by [`encode_program`].
+///
+/// The trailing checksum is verified over the whole buffer before any
+/// field is decoded.
+///
+/// # Errors
+///
+/// Returns [`ProgramBinError`] on bad magic, truncation, checksum
+/// mismatch or malformed fields.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, ProgramBinError> {
+    if bytes.len() < PROGRAM_MAGIC.len() {
+        return Err(ProgramBinError::Truncated);
+    }
+    if &bytes[..PROGRAM_MAGIC.len()] != PROGRAM_MAGIC {
+        return Err(ProgramBinError::BadMagic);
+    }
+    if bytes.len() < PROGRAM_MAGIC.len() + 8 {
+        return Err(ProgramBinError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a64(body) != declared {
+        return Err(ProgramBinError::ChecksumMismatch);
+    }
+    let mut buf = &body[PROGRAM_MAGIC.len()..];
+
+    let name_len = get_uvarint(&mut buf)?;
+    let name_len =
+        usize::try_from(name_len).map_err(|_| ProgramBinError::Malformed("name length"))?;
+    if buf.remaining() < name_len {
+        return Err(ProgramBinError::Truncated);
+    }
+    let name = std::str::from_utf8(&buf[..name_len])
+        .map_err(|_| ProgramBinError::Malformed("name is not utf-8"))?
+        .to_string();
+    buf.advance(name_len);
+
+    let count = get_uvarint(&mut buf)?;
+    if count == 0 {
+        return Err(ProgramBinError::Malformed("empty program"));
+    }
+    let mut code = Vec::with_capacity(count.min(1_000_000) as usize);
+    let mut prev_pc: u64 = 0;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..count {
+        let pc = prev_pc.wrapping_add(get_ivarint(&mut buf)? as u64);
+        prev_pc = pc;
+        if !seen.insert(pc) {
+            return Err(ProgramBinError::Malformed("duplicate instruction address"));
+        }
+        let op = match get_u8(&mut buf)? {
+            TAG_LOAD_IMM => ProgOp::LoadImm {
+                dest: get_reg(&mut buf, Some(false))?,
+                imm: get_ivarint(&mut buf)?,
+            },
+            TAG_INT_ALU_REG => ProgOp::IntAlu {
+                alu: get_alu(&mut buf)?,
+                dest: get_reg(&mut buf, Some(false))?,
+                src1: get_reg(&mut buf, Some(false))?,
+                rhs: Operand::Reg(get_reg(&mut buf, Some(false))?),
+            },
+            TAG_INT_ALU_IMM => ProgOp::IntAlu {
+                alu: get_alu(&mut buf)?,
+                dest: get_reg(&mut buf, Some(false))?,
+                src1: get_reg(&mut buf, Some(false))?,
+                rhs: Operand::Imm(get_ivarint(&mut buf)?),
+            },
+            TAG_INT_MUL_REG => ProgOp::IntMul {
+                dest: get_reg(&mut buf, Some(false))?,
+                src1: get_reg(&mut buf, Some(false))?,
+                rhs: Operand::Reg(get_reg(&mut buf, Some(false))?),
+            },
+            TAG_INT_MUL_IMM => ProgOp::IntMul {
+                dest: get_reg(&mut buf, Some(false))?,
+                src1: get_reg(&mut buf, Some(false))?,
+                rhs: Operand::Imm(get_ivarint(&mut buf)?),
+            },
+            TAG_FP => {
+                let op = OpClass::from_tag(get_u8(&mut buf)?)
+                    .filter(OpClass::is_fp_compute)
+                    .ok_or(ProgramBinError::Malformed("not an fp compute class"))?;
+                ProgOp::Fp {
+                    op,
+                    dest: get_reg(&mut buf, Some(true))?,
+                    src1: get_reg(&mut buf, Some(true))?,
+                    src2: get_reg(&mut buf, Some(true))?,
+                }
+            }
+            TAG_LOAD => ProgOp::Load {
+                dest: get_reg(&mut buf, None)?,
+                base: get_reg(&mut buf, Some(false))?,
+                disp: get_ivarint(&mut buf)?,
+            },
+            TAG_STORE => ProgOp::Store {
+                src: get_reg(&mut buf, None)?,
+                base: get_reg(&mut buf, Some(false))?,
+                disp: get_ivarint(&mut buf)?,
+            },
+            TAG_COND_BRANCH => ProgOp::CondBranch {
+                cond: get_cond(&mut buf)?,
+                src1: get_reg(&mut buf, Some(false))?,
+                src2: None,
+                target: get_uvarint(&mut buf)?,
+            },
+            TAG_COND_BRANCH2 => {
+                let cond = get_cond(&mut buf)?;
+                let src1 = get_reg(&mut buf, Some(false))?;
+                let src2 = get_reg(&mut buf, Some(false))?;
+                ProgOp::CondBranch {
+                    cond,
+                    src1,
+                    src2: Some(src2),
+                    target: get_uvarint(&mut buf)?,
+                }
+            }
+            TAG_BRANCH => ProgOp::Branch {
+                target: get_uvarint(&mut buf)?,
+            },
+            TAG_JUMP => ProgOp::Jump {
+                src: get_reg(&mut buf, Some(false))?,
+            },
+            TAG_NOP => ProgOp::Nop,
+            TAG_HALT => ProgOp::Halt,
+            _ => return Err(ProgramBinError::Malformed("unknown op tag")),
+        };
+        code.push(ProgInst { pc, op });
+    }
+
+    let data_count = get_uvarint(&mut buf)?;
+    let mut data = Vec::with_capacity(data_count.min(1_000_000) as usize);
+    let mut prev_addr: u64 = 0;
+    for _ in 0..data_count {
+        let addr = prev_addr.wrapping_add(get_ivarint(&mut buf)? as u64);
+        prev_addr = addr;
+        data.push((addr, get_uvarint(&mut buf)?));
+    }
+    if buf.has_remaining() {
+        return Err(ProgramBinError::Malformed("trailing bytes"));
+    }
+    Ok(Program::new(name, code, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn corpus_round_trip(name: &str, source: &str) {
+        let program = assemble(name, source).unwrap();
+        let bytes = encode_program(&program);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(back, program, "{name} artifact round-trip");
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(encode_program(&back), bytes);
+    }
+
+    #[test]
+    fn corpus_round_trips() {
+        for (name, source) in crate::corpus::CORPUS {
+            corpus_round_trip(name, source);
+        }
+    }
+
+    #[test]
+    fn every_truncation_rejected() {
+        let program = assemble("t", "start: li r1, 5\nbnz r1, start\nhalt").unwrap();
+        let bytes = encode_program(&program);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_program(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_rejected() {
+        let program = assemble("t", "start: li r1, 5\nbnz r1, start\nhalt").unwrap();
+        let bytes = encode_program(&program);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_program(&bad).is_err(), "flip at {i} must fail");
+        }
+    }
+
+    #[test]
+    fn checksum_verified_before_decode() {
+        let program = assemble("t", "nop\nhalt").unwrap();
+        let mut bytes = encode_program(&program);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert_eq!(
+            decode_program(&bytes),
+            Err(ProgramBinError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let program = assemble("t", "nop").unwrap();
+        let mut bytes = encode_program(&program);
+        bytes[0] = b'X';
+        assert_eq!(decode_program(&bytes), Err(ProgramBinError::BadMagic));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgramBinError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(ProgramBinError::BadVarint(VarintError::Truncated)
+            .to_string()
+            .contains("varint"));
+    }
+}

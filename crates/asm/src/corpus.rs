@@ -1,0 +1,109 @@
+//! The checked-in workload corpus (`examples/asm/*.s`), compiled into the
+//! crate so experiments and the CLI can assemble it without touching the
+//! filesystem.
+//!
+//! Three deliberately different characters:
+//!
+//! * [`PTR_CHASE`] — memory-bound: serially dependent loads over a 4 MiB
+//!   pseudo-random table; clogs its fetch buffer behind L1 misses.
+//! * [`FP_KERNEL`] — compute-bound: an FP multiply/add dependence chain
+//!   over an L1-resident vector; drains its fetch buffer steadily.
+//! * [`BRANCHY`] — control-bound: a data-dependent coin-flip branch per
+//!   element; mispredicts constantly.
+//!
+//! Heterogeneous mixes of these are what finally separate I-COUNT from
+//! round-robin fetch (see the `fetch_policy_hetero` experiment).
+
+use dsmt_trace::Program;
+
+use crate::{assemble, AsmError};
+
+/// Memory-bound pointer chaser (see `examples/asm/ptr_chase.s`).
+pub const PTR_CHASE: &str = include_str!("../../../examples/asm/ptr_chase.s");
+
+/// Compute-bound floating-point kernel (see `examples/asm/fp_kernel.s`).
+pub const FP_KERNEL: &str = include_str!("../../../examples/asm/fp_kernel.s");
+
+/// Branch-heavy scanner (see `examples/asm/branchy.s`).
+pub const BRANCHY: &str = include_str!("../../../examples/asm/branchy.s");
+
+/// All corpus programs as `(name, source)` pairs, in a fixed order.
+pub const CORPUS: &[(&str, &str)] = &[
+    ("ptr_chase", PTR_CHASE),
+    ("fp_kernel", FP_KERNEL),
+    ("branchy", BRANCHY),
+];
+
+/// Assembles one corpus program by name.
+///
+/// # Errors
+///
+/// Returns the assembler error (corpus sources are tested, so this only
+/// fires for unknown names, reported as an [`AsmError`] at line 0).
+pub fn corpus_program(name: &str) -> Result<Program, AsmError> {
+    let (prog_name, source) = CORPUS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .ok_or_else(|| AsmError::new(0, 0, crate::AsmErrorKind::UnknownLabel(name.into())))?;
+    assemble(prog_name, source)
+}
+
+/// Assembles the whole corpus, in [`CORPUS`] order.
+///
+/// # Panics
+///
+/// Panics if a checked-in corpus source fails to assemble (a build bug,
+/// caught by tests).
+#[must_use]
+pub fn corpus_programs() -> Vec<Program> {
+    CORPUS
+        .iter()
+        .map(|(name, source)| {
+            assemble(name, source).unwrap_or_else(|e| panic!("corpus program {name}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_assembles_and_is_addressable() {
+        let programs = corpus_programs();
+        assert_eq!(programs.len(), 3);
+        assert_eq!(programs[0].name, "ptr_chase");
+        assert!(corpus_program("branchy").is_ok());
+        assert!(corpus_program("nonesuch").is_err());
+    }
+
+    #[test]
+    fn corpus_characters_differ() {
+        use dsmt_isa::OpClass;
+        let programs = corpus_programs();
+        let share = |p: &Program, pred: fn(&OpClass) -> bool| {
+            let insts = p.expand(7, 4000);
+            insts.iter().filter(|i| pred(&i.op)).count() as f64 / insts.len() as f64
+        };
+        // The chaser is load-heavy, the kernel FP-heavy, the scanner
+        // branch-heavy.
+        let loads: Vec<f64> = programs
+            .iter()
+            .map(|p| share(p, OpClass::is_load))
+            .collect();
+        assert!(loads[0] > 0.15, "{loads:?}");
+        let fp: Vec<f64> = programs
+            .iter()
+            .map(|p| share(p, OpClass::is_fp_compute))
+            .collect();
+        assert!(fp[1] > 0.3 && fp[0] < 0.05 && fp[2] < 0.05, "{fp:?}");
+        let branches: Vec<f64> = programs
+            .iter()
+            .map(|p| share(p, OpClass::is_cond_branch))
+            .collect();
+        assert!(
+            branches[2] > branches[0] && branches[2] > branches[1],
+            "{branches:?}"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Parser for the canonical trace text format (the inverse of
+//! [`dsmt_isa::text::render_trace`]).
+//!
+//! One instruction per line:
+//!
+//! ```text
+//! 0x1000: ldt f2, r4, [0x8000+8]
+//! 0x4: br.c r1, -> 0x100
+//! 0x8: br.c r1, not-taken
+//! ```
+//!
+//! Registers are assigned in prefix order (`dest`, `src1`, `src2` for
+//! operations that write a register; `src1`, `src2` otherwise), which is
+//! exactly the shape [`dsmt_isa::text::is_canonical`] guarantees — so
+//! `render → parse → encode` reproduces the original bytes for canonical
+//! instructions, and anything else (out-of-order operands, too many
+//! registers, a target on a not-taken branch) is rejected with a
+//! line/column span.
+
+use dsmt_isa::{text::is_canonical, ArchReg, BranchInfo, Instruction, MemRef, OpClass};
+
+use crate::assemble::parse_reg;
+use crate::{AsmError, AsmErrorKind};
+
+fn col_at(line: &str, idx: usize) -> u32 {
+    let idx = idx.min(line.len());
+    (line[..idx].chars().count() + 1) as u32
+}
+
+/// `0x`-prefixed lowercase hex, as `{:#x}` renders it.
+fn parse_hex(text: &str) -> Option<u64> {
+    let digits = text.strip_prefix("0x")?;
+    if digits.is_empty() || digits.contains(|c: char| c.is_ascii_uppercase()) {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok()
+}
+
+/// What kind of operand a comma-separated item is; order must be
+/// non-decreasing along the line.
+#[derive(PartialEq, PartialOrd)]
+enum Phase {
+    Reg,
+    Mem,
+    Branch,
+}
+
+/// Parses one canonical trace line into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] spanning the offending token on malformed or
+/// non-canonical input.
+pub fn parse_trace_line(line: &str, lineno: u32) -> Result<Instruction, AsmError> {
+    let err = |idx: usize, kind: AsmErrorKind| AsmError::new(lineno, col_at(line, idx), kind);
+
+    let colon = line
+        .find(": ")
+        .ok_or_else(|| err(line.len(), AsmErrorKind::Expected("`<pc>: `")))?;
+    let pc = parse_hex(&line[..colon])
+        .ok_or_else(|| err(0, AsmErrorKind::BadNumber(line[..colon].into())))?;
+
+    let body_start = colon + 2;
+    let body = &line[body_start..];
+    let mnemonic_end = body.find(' ').unwrap_or(body.len());
+    let mnemonic = &body[..mnemonic_end];
+    let op = OpClass::ALL
+        .iter()
+        .copied()
+        .find(|c| c.mnemonic() == mnemonic)
+        .ok_or_else(|| err(body_start, AsmErrorKind::UnknownMnemonic(mnemonic.into())))?;
+
+    let mut inst = Instruction::new(pc, op);
+    let mut regs: Vec<ArchReg> = Vec::new();
+    let mut phase = Phase::Reg;
+
+    if mnemonic_end < body.len() {
+        // Operands: "`<op>`, `<op>`, ..." — exactly ", " separated.
+        let mut idx = body_start + mnemonic_end + 1;
+        let operands = &line[idx..];
+        for part in operands.split(", ") {
+            let kind = if part == "not-taken" {
+                if inst.branch.is_some() {
+                    return Err(err(idx, AsmErrorKind::NonCanonical("duplicate branch")));
+                }
+                inst.branch = Some(BranchInfo::not_taken());
+                Phase::Branch
+            } else if let Some(target) = part.strip_prefix("-> ") {
+                if inst.branch.is_some() {
+                    return Err(err(idx, AsmErrorKind::NonCanonical("duplicate branch")));
+                }
+                let target = parse_hex(target)
+                    .ok_or_else(|| err(idx + 3, AsmErrorKind::BadNumber(target.into())))?;
+                inst.branch = Some(BranchInfo::taken(target));
+                Phase::Branch
+            } else if let Some(mem) = part.strip_prefix('[') {
+                if inst.mem.is_some() {
+                    return Err(err(
+                        idx,
+                        AsmErrorKind::NonCanonical("duplicate memory operand"),
+                    ));
+                }
+                let mem = mem
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(idx, AsmErrorKind::Expected("`]`")))?;
+                let plus = mem
+                    .find('+')
+                    .ok_or_else(|| err(idx, AsmErrorKind::Expected("`+` in memory operand")))?;
+                let addr = parse_hex(&mem[..plus])
+                    .ok_or_else(|| err(idx + 1, AsmErrorKind::BadNumber(mem[..plus].into())))?;
+                let size: u8 = mem[plus + 1..].parse().map_err(|_| {
+                    err(
+                        idx + 2 + plus,
+                        AsmErrorKind::BadNumber(mem[plus + 1..].into()),
+                    )
+                })?;
+                inst.mem = Some(MemRef::new(addr, size));
+                Phase::Mem
+            } else if let Some(reg) = parse_reg(part) {
+                regs.push(reg);
+                Phase::Reg
+            } else {
+                return Err(err(idx, AsmErrorKind::Expected("an operand")));
+            };
+            if kind < phase {
+                return Err(err(idx, AsmErrorKind::NonCanonical("operand out of order")));
+            }
+            phase = kind;
+            idx += part.len() + 2;
+        }
+    }
+
+    // Assign registers in prefix order.
+    let writes = op.writes_int() || op.writes_fp();
+    let max = if writes { 3 } else { 2 };
+    if regs.len() > max {
+        return Err(err(
+            body_start,
+            AsmErrorKind::NonCanonical("too many registers"),
+        ));
+    }
+    let mut it = regs.into_iter();
+    if writes {
+        inst.dest = it.next();
+    }
+    inst.src1 = it.next();
+    inst.src2 = it.next();
+
+    inst.validate()
+        .map_err(|e| err(body_start, AsmErrorKind::InvalidInstruction(e.to_string())))?;
+    debug_assert!(is_canonical(&inst), "parser built non-canonical {inst}");
+    Ok(inst)
+}
+
+/// Parses a whole trace text (one instruction per line; blank lines are
+/// ignored).
+///
+/// # Errors
+///
+/// Returns the first per-line [`AsmError`].
+pub fn parse_trace(text: &str) -> Result<Vec<Instruction>, AsmError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_trace_line(line, (i + 1) as u32)?);
+    }
+    dsmt_obs::counter!("asm.trace_lines_parsed").add(out.len() as u64);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmt_isa::text::render_trace;
+
+    fn rt(line: &str) -> Instruction {
+        parse_trace_line(line, 1).unwrap()
+    }
+
+    #[test]
+    fn parses_display_forms() {
+        let ld = rt("0x1000: ldt f2, r4, [0x8000+8]");
+        assert_eq!(ld.pc, 0x1000);
+        assert_eq!(ld.op, OpClass::LoadFp);
+        assert_eq!(ld.dest, Some(ArchReg::fp(2)));
+        assert_eq!(ld.src1, Some(ArchReg::int(4)));
+        assert_eq!(ld.mem, Some(MemRef::new(0x8000, 8)));
+
+        let br = rt("0x4: br.c r1, -> 0x100");
+        assert_eq!(br.branch, Some(BranchInfo::taken(0x100)));
+        assert_eq!(br.src1, Some(ArchReg::int(1)), "br.c writes no register");
+
+        let nt = rt("0x4: br.c r1, not-taken");
+        assert_eq!(nt.branch, Some(BranchInfo::not_taken()));
+
+        let st = rt("0x0: stq r5, r1, [0x4000+8]");
+        assert_eq!(st.dest, None);
+        assert_eq!(st.src1, Some(ArchReg::int(5)));
+        assert_eq!(st.src2, Some(ArchReg::int(1)));
+
+        assert_eq!(rt("0x8: nop").op, OpClass::Nop);
+    }
+
+    #[test]
+    fn round_trips_rendered_text() {
+        let insts = vec![
+            Instruction::new(0x1000, OpClass::LoadFp)
+                .with_dest(ArchReg::fp(2))
+                .with_src1(ArchReg::int(4))
+                .with_mem(0x8000, 8),
+            Instruction::new(0x1004, OpClass::IntAlu)
+                .with_dest(ArchReg::int(1))
+                .with_src1(ArchReg::int(2))
+                .with_src2(ArchReg::int(3)),
+            Instruction::new(0x1008, OpClass::CondBranch)
+                .with_src1(ArchReg::int(1))
+                .with_branch(BranchInfo::taken(0x1000)),
+            Instruction::new(0x100c, OpClass::Nop),
+        ];
+        let text = render_trace(&insts);
+        assert_eq!(parse_trace(&text).unwrap(), insts);
+    }
+
+    #[test]
+    fn rejects_with_spans() {
+        let e = parse_trace_line("0x10 ldq r1", 3).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, AsmErrorKind::Expected(_)));
+
+        let e = parse_trace_line("0x10: frob r1", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+        assert_eq!(e.col, 7);
+
+        let e = parse_trace_line("10: nop", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadNumber(_)));
+
+        // Non-canonical: register after the memory operand.
+        let e = parse_trace_line("0x0: stq r5, [0x10+8], r1", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::NonCanonical(_)));
+
+        // Non-canonical: too many registers for a store.
+        let e = parse_trace_line("0x0: stq r5, r1, r2, [0x10+8]", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::NonCanonical(_)));
+
+        // Structurally invalid: load without a memory operand.
+        let e = parse_trace_line("0x0: ldq r1", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::InvalidInstruction(_)));
+
+        // Uppercase hex is not canonical output.
+        let e = parse_trace_line("0xFF: nop", 1).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn never_panics_on_junk_lines() {
+        for junk in [
+            "",
+            ":",
+            ": ",
+            "0x: nop",
+            "0x0:",
+            "0x0: ",
+            "0x0: ldq [",
+            "0x0: ldq [0x10+",
+            "0x0: br.c -> ",
+            "0x0: nop, nop",
+            "🦀: nop",
+            "0x0: nop 🦀",
+        ] {
+            let _ = parse_trace_line(junk, 1);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden fixtures pinning the assembled corpus.
+//!
+//! Two layers are pinned: the `DSMTASM1` binary layout of every
+//! `examples/asm/*.s` program, and an FNV digest of each program's first
+//! 2048 expanded trace instructions (which freezes the interpreter
+//! semantics — register file behavior, hash-backed memory, restart rules).
+//!
+//! Regenerate intentionally with
+//! `DSMT_REGEN_GOLDEN=1 cargo test -p dsmt-asm --test golden`.
+
+use std::path::PathBuf;
+
+use dsmt_asm::{corpus, decode_program, encode_program};
+use dsmt_isa::{encode_stream, fnv1a64};
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn regen() -> bool {
+    std::env::var("DSMT_REGEN_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn corpus_binaries_match_goldens() {
+    for program in corpus::corpus_programs() {
+        let bytes = encode_program(&program);
+        let path = golden_path(&format!("{}.dsmtasm", program.name));
+        if regen() {
+            std::fs::write(&path, &bytes).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {} ({e}); regenerate with DSMT_REGEN_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            bytes, golden,
+            "{} binary layout drifted; if the change is intentional, \
+             regenerate with DSMT_REGEN_GOLDEN=1",
+            program.name
+        );
+        assert_eq!(
+            decode_program(&golden).expect("golden decodes"),
+            program,
+            "golden no longer decodes to the assembled program"
+        );
+    }
+}
+
+#[test]
+fn expansion_digests_match_goldens() {
+    let mut lines = String::new();
+    for program in corpus::corpus_programs() {
+        let insts = program.expand(7, 2048);
+        assert_eq!(insts.len(), 2048, "{} under-expanded", program.name);
+        let digest = fnv1a64(&encode_stream(&insts));
+        lines.push_str(&format!("{} {digest:#018x}\n", program.name));
+    }
+    let path = golden_path("expansion.fnv");
+    if regen() {
+        std::fs::write(&path, lines).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with DSMT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        lines, golden,
+        "interpreter expansion drifted; this changes every assembled \
+         workload's trace — regenerate with DSMT_REGEN_GOLDEN=1 only if \
+         that is intended"
+    );
+}

@@ -16,8 +16,8 @@
 //!   plain run renders everything from cache.
 
 use dsmt_experiments::{
-    ablations, fetch_policy, fig1, fig3, fig4, fig5, maybe_run_shard, seed_variance,
-    ExperimentParams,
+    ablations, fetch_policy, fetch_policy_hetero, fig1, fig3, fig4, fig5, maybe_run_shard,
+    seed_variance, ExperimentParams,
 };
 use dsmt_sweep::{export, SweepReport};
 
@@ -56,6 +56,7 @@ fn main() {
     all_grids.extend(fig5::grids(&params));
     all_grids.extend(ablations::grids(&params));
     all_grids.push(fetch_policy::grid(&params));
+    all_grids.push(fetch_policy_hetero::grid(&params));
     all_grids.push(seed_variance::grid(&params));
     if maybe_run_shard(&all_grids, &params) {
         return;
@@ -103,6 +104,12 @@ fn main() {
     print_checks(&fp.results.shape_checks());
     footer.push(export_report(&fp.report, &out_dir));
 
+    println!("## Fetch policy on heterogeneous assembled workloads\n");
+    let fph = fetch_policy_hetero::sweep(&params);
+    println!("{}", fph.results.table().to_markdown());
+    print_checks(&fph.results.shape_checks());
+    footer.push(export_report(&fph.report, &out_dir));
+
     println!("## Seed variance — how representative are single-seed figures?\n");
     let sv = seed_variance::sweep(&params);
     println!("{}", sv.results.table().to_markdown());
@@ -116,7 +123,14 @@ fn main() {
     footer.push(export_report(&ab.report, &out_dir));
 
     let (cells, hits, misses) = [
-        &f1.report, &f3.report, &f4.report, &f5.report, &fp.report, &sv.report, &ab.report,
+        &f1.report,
+        &f3.report,
+        &f4.report,
+        &f5.report,
+        &fp.report,
+        &fph.report,
+        &sv.report,
+        &ab.report,
     ]
     .iter()
     .fold((0, 0, 0), |(c, h, m), r| {

@@ -16,6 +16,9 @@
 //!   external bus utilisation.
 //! * [`fetch_policy`] — Section 3.1: I-COUNT vs round-robin thread
 //!   selection across hardware-context counts.
+//! * [`fetch_policy_hetero`] — I-COUNT vs round-robin on heterogeneous
+//!   assembled workloads (`dsmt-asm` corpus mixes), where the policies
+//!   separate; the advantage is asserted against measured seed noise.
 //! * [`seed_variance`] — per-cell seed study: every grid point replicated
 //!   under decorrelated seeds, with mean/stddev columns quantifying how
 //!   representative the single-seed figures are.
@@ -42,6 +45,7 @@
 
 pub mod ablations;
 pub mod fetch_policy;
+pub mod fetch_policy_hetero;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;

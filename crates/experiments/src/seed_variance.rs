@@ -48,7 +48,11 @@ pub struct VarianceRow {
 }
 
 impl VarianceRow {
-    fn from_samples(labels: Vec<(String, String)>, samples: Vec<f64>) -> Self {
+    /// Builds a row from raw IPC samples, computing mean and population
+    /// standard deviation (also used by the fetch-policy-hetero figure to
+    /// quote its separations in units of seed noise).
+    #[must_use]
+    pub fn from_samples(labels: Vec<(String, String)>, samples: Vec<f64>) -> Self {
         let n = samples.len().max(1) as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;

@@ -40,14 +40,17 @@
 
 mod encode;
 mod error;
+mod hash;
 mod inst;
 mod op;
 mod reg;
 mod steer;
+pub mod text;
 pub mod varint;
 
 pub use encode::{decode_instruction, decode_stream, encode_instruction, encode_stream};
 pub use error::InstructionError;
+pub use hash::fnv1a64;
 pub use inst::{BranchInfo, Instruction, MemRef};
 pub use op::OpClass;
 pub use reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};

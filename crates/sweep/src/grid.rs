@@ -34,10 +34,16 @@ pub enum Setting {
     FetchThreadsPerCycle(usize),
     /// Fetch thread-selection policy (I-COUNT vs plain round-robin).
     FetchPolicy(FetchPolicy),
+    /// Overrides the cell's workload instead of a config knob, so a grid
+    /// can sweep *what the threads run* (e.g. heterogeneous assembled-program
+    /// mixes) crossed against the other axes.
+    Workload(WorkloadSpec),
 }
 
 impl Setting {
-    /// Applies the setting to a configuration.
+    /// Applies the setting to a configuration. [`Setting::Workload`] leaves
+    /// the configuration untouched — [`SweepGrid::cells`] applies it to the
+    /// cell's workload instead.
     #[must_use]
     pub fn apply(&self, config: SimConfig) -> SimConfig {
         let mut config = config;
@@ -55,6 +61,7 @@ impl Setting {
             Setting::L1Associativity(a) => config.mem.l1d.associativity = a,
             Setting::FetchThreadsPerCycle(n) => config.fetch_threads_per_cycle = n,
             Setting::FetchPolicy(p) => config.fetch_policy = p,
+            Setting::Workload(_) => {}
         }
         config
     }
@@ -73,6 +80,7 @@ impl Setting {
             Setting::L1Associativity(_) => "l1_associativity",
             Setting::FetchThreadsPerCycle(_) => "fetch_threads",
             Setting::FetchPolicy(_) => "fetch_policy",
+            Setting::Workload(_) => "workload",
         }
     }
 
@@ -90,6 +98,7 @@ impl Setting {
             Setting::L1Associativity(a) => a.to_string(),
             Setting::FetchThreadsPerCycle(n) => n.to_string(),
             Setting::FetchPolicy(p) => p.label().to_string(),
+            Setting::Workload(ref w) => w.label(),
         }
     }
 }
@@ -180,6 +189,18 @@ impl Axis {
     #[must_use]
     pub fn fetch_policies(values: &[FetchPolicy]) -> Self {
         Axis::of(values.iter().map(|&v| Setting::FetchPolicy(v)).collect())
+    }
+
+    /// A workload axis: each value replaces the cell's workload, so grids
+    /// can sweep heterogeneous assembled-program mixes against config knobs.
+    #[must_use]
+    pub fn workloads(values: &[WorkloadSpec]) -> Self {
+        Axis::of(
+            values
+                .iter()
+                .map(|v| Setting::Workload(v.clone()))
+                .collect(),
+        )
     }
 }
 
@@ -299,9 +320,13 @@ impl SweepGrid {
             let mut picks = vec![0usize; self.axes.len()];
             loop {
                 let mut config = self.base.clone();
+                let mut cell_workload = workload.clone();
                 let mut labels = Vec::with_capacity(self.axes.len());
                 for (axis, &pick) in self.axes.iter().zip(&picks) {
                     let setting = &axis.settings[pick];
+                    if let Setting::Workload(w) = setting {
+                        cell_workload = w.clone();
+                    }
                     config = setting.apply(config);
                     labels.push((axis.name.clone(), setting.value_label()));
                 }
@@ -312,11 +337,11 @@ impl SweepGrid {
                 };
                 cells.push(Cell {
                     index,
-                    workload_label: workload.label(),
+                    workload_label: cell_workload.label(),
                     labels,
                     scenario: Scenario {
                         config,
-                        workload: workload.clone(),
+                        workload: cell_workload,
                         seed,
                         budget: self.budget,
                     },
@@ -466,6 +491,35 @@ mod tests {
                 .apply(base)
                 .fetch_policy,
             FetchPolicy::RoundRobin
+        );
+    }
+
+    #[test]
+    fn workload_axis_overrides_the_cell_workload() {
+        let mixes = [
+            WorkloadSpec::programs(&[("a", "top: subi r1, r1, 1\n bnz r1, top\n halt")]),
+            WorkloadSpec::programs(&[("b", "top: fadd f1, f1, f2\n br top")]),
+        ];
+        let g = SweepGrid::new("wl", SimConfig::paper_multithreaded(2))
+            .with_workload(WorkloadSpec::spec_mix(1_000))
+            .with_axis(Axis::workloads(&mixes))
+            .with_axis(Axis::l2_latencies(&[1, 16]))
+            .with_budget(2_000);
+        let cells = g.cells();
+        assert_eq!(cells.len(), 4);
+        // The axis replaces the grid-level workload in every cell...
+        assert_eq!(cells[0].scenario.workload, mixes[0]);
+        assert_eq!(cells[2].scenario.workload, mixes[1]);
+        assert_eq!(cells[0].workload_label, "asm:a");
+        assert_eq!(cells[2].workload_label, "asm:b");
+        // ...while config axes still apply, and labels carry both.
+        assert_eq!(cells[1].scenario.config.mem.l2_latency, 16);
+        assert_eq!(
+            cells[2].labels,
+            vec![
+                ("workload".to_string(), "asm:b".to_string()),
+                ("l2_latency".to_string(), "1".to_string()),
+            ]
         );
     }
 

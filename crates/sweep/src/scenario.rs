@@ -2,7 +2,8 @@
 
 use dsmt_core::{Processor, SimConfig, SimResults};
 use dsmt_trace::{
-    spec_fp95_profile, BenchmarkProfile, SyntheticTrace, ThreadWorkload, TraceSource,
+    spec_fp95_profile, BenchmarkProfile, Program, ProgramWorkload, SyntheticTrace, ThreadWorkload,
+    TraceSource,
 };
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +37,25 @@ pub enum WorkloadSpec {
         /// The profile to synthesise.
         profile: BenchmarkProfile,
     },
+    /// Assembled programs (`dsmt-asm`): thread `t` runs program `t mod n`,
+    /// pinned for the whole simulation — the *heterogeneous* counterpart of
+    /// the rotating mixes above, and the workload that separates the fetch
+    /// policies.
+    Programs {
+        /// `(name, source)` pairs, assembled when the processor is built.
+        programs: Vec<AsmSource>,
+    },
+}
+
+/// The source text of one assembled program, carried inline so scenarios
+/// stay self-contained (serializable, cache-keyable) without filesystem
+/// references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsmSource {
+    /// Program name, used in labels and assembler diagnostics.
+    pub name: String,
+    /// Assembly source text (the `dsmt-asm` grammar).
+    pub source: String,
 }
 
 impl WorkloadSpec {
@@ -51,6 +71,21 @@ impl WorkloadSpec {
         WorkloadSpec::Benchmark { name: name.into() }
     }
 
+    /// Shorthand for [`WorkloadSpec::Programs`] from `(name, source)` pairs
+    /// (e.g. entries of [`dsmt_asm::corpus::CORPUS`]).
+    #[must_use]
+    pub fn programs(programs: &[(&str, &str)]) -> Self {
+        WorkloadSpec::Programs {
+            programs: programs
+                .iter()
+                .map(|&(name, source)| AsmSource {
+                    name: name.into(),
+                    source: source.into(),
+                })
+                .collect(),
+        }
+    }
+
     /// A short human-readable label used in records and CSV columns.
     #[must_use]
     pub fn label(&self) -> String {
@@ -59,6 +94,10 @@ impl WorkloadSpec {
             WorkloadSpec::Benchmark { name } => name.clone(),
             WorkloadSpec::Mix { benchmarks, .. } => format!("mix:{}", benchmarks.join("+")),
             WorkloadSpec::Profile { profile } => format!("profile:{}", profile.name),
+            WorkloadSpec::Programs { programs } => {
+                let names: Vec<&str> = programs.iter().map(|p| p.name.as_str()).collect();
+                format!("asm:{}", names.join("+"))
+            }
         }
     }
 
@@ -164,6 +203,22 @@ impl Scenario {
                 self.profile_processor(&profile)
             }
             WorkloadSpec::Profile { profile } => self.profile_processor(profile),
+            WorkloadSpec::Programs { programs } => {
+                let assembled: Vec<Program> = programs
+                    .iter()
+                    .map(|p| {
+                        dsmt_asm::assemble(&p.name, &p.source)
+                            .unwrap_or_else(|e| panic!("workload program `{}`: {e}", p.name))
+                    })
+                    .collect();
+                let workload = ProgramWorkload::new(assembled, self.seed);
+                let traces: Vec<Box<dyn TraceSource>> = workload
+                    .build(self.config.num_threads)
+                    .into_iter()
+                    .map(|t| Box::new(t) as Box<dyn TraceSource>)
+                    .collect();
+                Processor::new(self.config.clone(), traces)
+            }
         }
     }
 
@@ -252,6 +307,43 @@ mod tests {
         let back: Scenario = serde::from_str(&text).expect("scenario round-trips");
         assert_eq!(back, s);
         assert_eq!(back.cache_key(), s.cache_key());
+    }
+
+    #[test]
+    fn assembled_programs_pin_per_thread() {
+        let s = Scenario {
+            config: SimConfig::paper_multithreaded(2),
+            workload: WorkloadSpec::programs(&[
+                ("loop", "top: subi r1, r1, 1\n bnz r1, top\n halt"),
+                ("fp", "top: fadd f1, f1, f2\n br top"),
+            ]),
+            seed: 11,
+            budget: 6_000,
+        };
+        assert_eq!(s.workload.label(), "asm:loop+fp");
+        let r = s.execute();
+        assert_eq!(r.per_thread_instructions.len(), 2);
+        assert!(r.per_thread_instructions.iter().all(|&n| n > 0));
+        assert_eq!(s.execute(), r, "assembled workloads are deterministic");
+        // The workload participates in the cache key and survives JSON.
+        let text = serde::to_string(&s);
+        let back: Scenario = serde::from_str(&text).expect("round-trips");
+        assert_eq!(back.cache_key(), s.cache_key());
+        let mut other = s.clone();
+        other.workload = WorkloadSpec::programs(&[("loop", "top: br top")]);
+        assert_ne!(other.cache_key(), s.cache_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "workload program `bad`")]
+    fn assembler_errors_surface_at_processor_build() {
+        let s = Scenario {
+            config: SimConfig::paper_multithreaded(1),
+            workload: WorkloadSpec::programs(&[("bad", "frob r1, r2")]),
+            seed: 1,
+            budget: 100,
+        };
+        let _ = s.processor();
     }
 
     #[test]

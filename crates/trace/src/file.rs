@@ -1,18 +1,44 @@
-//! Binary trace file format.
+//! Binary trace file format (version 2: varint-packed, checksummed).
 //!
 //! Allows captured or synthesised traces to be stored and replayed, so that
 //! expensive workload generation can be done once and experiments become
 //! exactly reproducible from on-disk artifacts (mirroring the paper's
 //! trace-driven methodology).
 //!
-//! Layout:
+//! Layout (all varints are the canonical LEB128 of [`dsmt_isa::varint`];
+//! signed values are zigzag-mapped):
 //!
 //! ```text
-//! magic   8 bytes  "DSMTTRC1"
-//! count   u64 LE   number of instructions
-//! name    u16 LE length + UTF-8 bytes
-//! body    `count` encoded instructions (see dsmt-isa encoding)
+//! magic    8 bytes   "DSMTTRC2"
+//! name     uvarint length + UTF-8 bytes
+//! count    uvarint   number of instruction records
+//! records  count × packed records (below)
+//! checksum u64 LE    FNV-1a 64 of every preceding byte
 //! ```
+//!
+//! Each record is delta-packed against its predecessor — consecutive trace
+//! PCs and effective addresses are near each other, so the deltas stay in
+//! one or two bytes:
+//!
+//! ```text
+//! op      u8        OpClass tag
+//! flags   u8        bit 0 dest · 1 src1 · 2 src2 · 3 mem · 4 branch · 5 taken
+//! pc      ivarint   delta from the previous record's pc (first: from 0)
+//! dest    u8        if flagged: bit 7 = FP class, bits 0–5 = index
+//! src1    u8        if flagged (same layout)
+//! src2    u8        if flagged (same layout)
+//! mem     ivarint   address delta from the previous memory address
+//!         uvarint   access size (both only if flagged)
+//! branch  ivarint   target delta from this record's pc (only if flagged)
+//! ```
+//!
+//! The trailing checksum makes the format fail-stop: readers verify it over
+//! the whole file *before* decoding any record, so truncation and bit
+//! corruption surface as [`TraceFileError::ChecksumMismatch`] (or
+//! [`TraceFileError::Truncated`]) instead of silently replaying a damaged
+//! trace. Canonical varints guarantee every trace has exactly one byte
+//! representation, which is what lets golden tests compare files with
+//! `cmp`.
 
 use std::error::Error;
 use std::fmt;
@@ -20,12 +46,27 @@ use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut};
 
-use dsmt_isa::{decode_instruction, encode_instruction, Instruction, InstructionError};
+use dsmt_isa::{
+    fnv1a64, get_ivarint, get_uvarint, put_ivarint, put_uvarint, ArchReg, BranchInfo, Instruction,
+    MemRef, OpClass, VarintError,
+};
 
 use crate::{TraceSource, VecTrace};
 
-/// Magic bytes identifying a DSMT trace file (version 1).
-pub const TRACE_MAGIC: &[u8; 8] = b"DSMTTRC1";
+/// Magic bytes identifying a DSMT trace file (version 2).
+pub const TRACE_MAGIC: &[u8; 8] = b"DSMTTRC2";
+
+/// Record flag bits (mirrors the fixed-width encoding in `dsmt-isa`).
+const FLAG_DEST: u8 = 1 << 0;
+const FLAG_SRC1: u8 = 1 << 1;
+const FLAG_SRC2: u8 = 1 << 2;
+const FLAG_MEM: u8 = 1 << 3;
+const FLAG_BRANCH: u8 = 1 << 4;
+const FLAG_TAKEN: u8 = 1 << 5;
+const FLAG_ALL: u8 = FLAG_DEST | FLAG_SRC1 | FLAG_SRC2 | FLAG_MEM | FLAG_BRANCH | FLAG_TAKEN;
+
+/// Register byte: bit 7 selects the FP class, bits 0–5 the index.
+const REG_FP_BIT: u8 = 1 << 7;
 
 /// Errors produced while reading or writing trace files.
 #[derive(Debug)]
@@ -37,8 +78,12 @@ pub enum TraceFileError {
     BadMagic,
     /// The file ended before the declared number of instructions.
     Truncated,
-    /// An instruction record could not be decoded.
-    BadInstruction(InstructionError),
+    /// The trailing FNV checksum does not match the file contents.
+    ChecksumMismatch,
+    /// A varint field is truncated or non-canonical.
+    BadVarint(VarintError),
+    /// A record field holds an impossible value.
+    Malformed(&'static str),
     /// The embedded trace name is not valid UTF-8.
     BadName,
 }
@@ -49,7 +94,11 @@ impl fmt::Display for TraceFileError {
             TraceFileError::Io(e) => write!(f, "trace file i/o error: {e}"),
             TraceFileError::BadMagic => write!(f, "not a DSMT trace file (bad magic)"),
             TraceFileError::Truncated => write!(f, "trace file ends prematurely"),
-            TraceFileError::BadInstruction(e) => write!(f, "malformed instruction record: {e}"),
+            TraceFileError::ChecksumMismatch => {
+                write!(f, "trace file checksum mismatch (corrupt or truncated)")
+            }
+            TraceFileError::BadVarint(e) => write!(f, "malformed trace varint: {e}"),
+            TraceFileError::Malformed(what) => write!(f, "malformed trace record: {what}"),
             TraceFileError::BadName => write!(f, "trace name is not valid utf-8"),
         }
     }
@@ -59,7 +108,7 @@ impl Error for TraceFileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceFileError::Io(e) => Some(e),
-            TraceFileError::BadInstruction(e) => Some(e),
+            TraceFileError::BadVarint(e) => Some(e),
             _ => None,
         }
     }
@@ -71,10 +120,123 @@ impl From<io::Error> for TraceFileError {
     }
 }
 
-impl From<InstructionError> for TraceFileError {
-    fn from(e: InstructionError) -> Self {
-        TraceFileError::BadInstruction(e)
+impl From<VarintError> for TraceFileError {
+    fn from(e: VarintError) -> Self {
+        TraceFileError::BadVarint(e)
     }
+}
+
+fn reg_byte(reg: ArchReg) -> u8 {
+    let class = if reg.is_fp() { REG_FP_BIT } else { 0 };
+    class | (reg.index() & 0x3f)
+}
+
+fn parse_reg(byte: u8) -> Result<ArchReg, TraceFileError> {
+    let index = byte & 0x3f;
+    if byte & 0x40 != 0 {
+        return Err(TraceFileError::Malformed("register byte has bit 6 set"));
+    }
+    if usize::from(index) >= dsmt_isa::NUM_INT_REGS {
+        return Err(TraceFileError::Malformed("register index out of range"));
+    }
+    Ok(if byte & REG_FP_BIT != 0 {
+        ArchReg::fp(index)
+    } else {
+        ArchReg::int(index)
+    })
+}
+
+/// Running delta state shared by the encoder and decoder.
+#[derive(Default)]
+struct DeltaState {
+    pc: u64,
+    mem_addr: u64,
+}
+
+fn encode_record(buf: &mut Vec<u8>, inst: &Instruction, state: &mut DeltaState) {
+    buf.put_u8(inst.op.tag());
+    let mut flags = 0u8;
+    if inst.dest.is_some() {
+        flags |= FLAG_DEST;
+    }
+    if inst.src1.is_some() {
+        flags |= FLAG_SRC1;
+    }
+    if inst.src2.is_some() {
+        flags |= FLAG_SRC2;
+    }
+    if inst.mem.is_some() {
+        flags |= FLAG_MEM;
+    }
+    if let Some(b) = inst.branch {
+        flags |= FLAG_BRANCH;
+        if b.taken {
+            flags |= FLAG_TAKEN;
+        }
+    }
+    buf.put_u8(flags);
+    put_ivarint(buf, inst.pc.wrapping_sub(state.pc) as i64);
+    state.pc = inst.pc;
+    for reg in [inst.dest, inst.src1, inst.src2].into_iter().flatten() {
+        buf.put_u8(reg_byte(reg));
+    }
+    if let Some(mem) = inst.mem {
+        put_ivarint(buf, mem.addr.wrapping_sub(state.mem_addr) as i64);
+        put_uvarint(buf, u64::from(mem.size));
+        state.mem_addr = mem.addr;
+    }
+    if let Some(b) = inst.branch {
+        put_ivarint(buf, b.target.wrapping_sub(inst.pc) as i64);
+    }
+}
+
+fn decode_record(buf: &mut &[u8], state: &mut DeltaState) -> Result<Instruction, TraceFileError> {
+    if buf.remaining() < 2 {
+        return Err(TraceFileError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let op = OpClass::from_tag(tag).ok_or(TraceFileError::Malformed("unknown op tag"))?;
+    let flags = buf.get_u8();
+    if flags & !FLAG_ALL != 0 {
+        return Err(TraceFileError::Malformed("unknown flag bits"));
+    }
+    if flags & FLAG_TAKEN != 0 && flags & FLAG_BRANCH == 0 {
+        return Err(TraceFileError::Malformed("taken flag without branch"));
+    }
+    let pc = state.pc.wrapping_add(get_ivarint(buf)? as u64);
+    state.pc = pc;
+    let mut inst = Instruction::new(pc, op);
+    if flags & FLAG_DEST != 0 {
+        if !buf.has_remaining() {
+            return Err(TraceFileError::Truncated);
+        }
+        inst.dest = Some(parse_reg(buf.get_u8())?);
+    }
+    if flags & FLAG_SRC1 != 0 {
+        if !buf.has_remaining() {
+            return Err(TraceFileError::Truncated);
+        }
+        inst.src1 = Some(parse_reg(buf.get_u8())?);
+    }
+    if flags & FLAG_SRC2 != 0 {
+        if !buf.has_remaining() {
+            return Err(TraceFileError::Truncated);
+        }
+        inst.src2 = Some(parse_reg(buf.get_u8())?);
+    }
+    if flags & FLAG_MEM != 0 {
+        let addr = state.mem_addr.wrapping_add(get_ivarint(buf)? as u64);
+        let size = get_uvarint(buf)?;
+        let size =
+            u8::try_from(size).map_err(|_| TraceFileError::Malformed("access size over 255"))?;
+        state.mem_addr = addr;
+        inst.mem = Some(MemRef::new(addr, size));
+    }
+    if flags & FLAG_BRANCH != 0 {
+        let target = pc.wrapping_add(get_ivarint(buf)? as u64);
+        inst.branch = Some(BranchInfo::new(flags & FLAG_TAKEN != 0, target));
+    }
+    Ok(inst)
 }
 
 /// Writes traces in the DSMT binary format.
@@ -92,15 +254,18 @@ impl TraceWriter {
         name: &str,
         instructions: &[Instruction],
     ) -> Result<(), TraceFileError> {
-        let mut buf = Vec::with_capacity(instructions.len() * 16 + 64);
+        let mut buf = Vec::with_capacity(instructions.len() * 8 + 64);
         buf.put_slice(TRACE_MAGIC);
-        buf.put_u64_le(instructions.len() as u64);
         let name_bytes = name.as_bytes();
-        buf.put_u16_le(name_bytes.len().min(u16::MAX as usize) as u16);
-        buf.put_slice(&name_bytes[..name_bytes.len().min(u16::MAX as usize)]);
+        put_uvarint(&mut buf, name_bytes.len() as u64);
+        buf.put_slice(name_bytes);
+        put_uvarint(&mut buf, instructions.len() as u64);
+        let mut state = DeltaState::default();
         for inst in instructions {
-            encode_instruction(inst, &mut buf);
+            encode_record(&mut buf, inst, &mut state);
         }
+        let checksum = fnv1a64(&buf);
+        buf.put_u64_le(checksum);
         writer.write_all(&buf)?;
         Ok(())
     }
@@ -135,37 +300,50 @@ pub struct TraceReader;
 impl TraceReader {
     /// Reads an entire trace file into a replayable [`VecTrace`].
     ///
+    /// The trailing checksum is verified over the whole file *before* any
+    /// record is decoded, so a corrupt or truncated file never yields
+    /// instructions.
+    ///
     /// # Errors
     ///
-    /// Returns [`TraceFileError`] on I/O failure, bad magic, truncation or
-    /// malformed records.
+    /// Returns [`TraceFileError`] on I/O failure, bad magic, truncation,
+    /// checksum mismatch or malformed records.
     pub fn read<R: Read>(reader: &mut R) -> Result<VecTrace, TraceFileError> {
         let mut data = Vec::new();
         reader.read_to_end(&mut data)?;
-        let mut buf = data.as_slice();
-        if buf.remaining() < TRACE_MAGIC.len() + 8 + 2 {
+        if data.len() < TRACE_MAGIC.len() {
             return Err(TraceFileError::Truncated);
         }
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != TRACE_MAGIC {
+        if &data[..TRACE_MAGIC.len()] != TRACE_MAGIC {
             return Err(TraceFileError::BadMagic);
         }
-        let count = buf.get_u64_le();
-        let name_len = buf.get_u16_le() as usize;
+        if data.len() < TRACE_MAGIC.len() + 8 {
+            return Err(TraceFileError::Truncated);
+        }
+        let (body, tail) = data.split_at(data.len() - 8);
+        let declared = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(body) != declared {
+            return Err(TraceFileError::ChecksumMismatch);
+        }
+        let mut buf = &body[TRACE_MAGIC.len()..];
+        let name_len = get_uvarint(&mut buf)?;
+        let name_len =
+            usize::try_from(name_len).map_err(|_| TraceFileError::Malformed("name length"))?;
         if buf.remaining() < name_len {
             return Err(TraceFileError::Truncated);
         }
-        let name_bytes = buf.copy_to_bytes(name_len);
-        let name = std::str::from_utf8(&name_bytes)
+        let name = std::str::from_utf8(&buf[..name_len])
             .map_err(|_| TraceFileError::BadName)?
             .to_string();
+        buf.advance(name_len);
+        let count = get_uvarint(&mut buf)?;
         let mut instructions = Vec::with_capacity(count.min(1_000_000) as usize);
+        let mut state = DeltaState::default();
         for _ in 0..count {
-            if !buf.has_remaining() {
-                return Err(TraceFileError::Truncated);
-            }
-            instructions.push(decode_instruction(&mut buf)?);
+            instructions.push(decode_record(&mut buf, &mut state)?);
+        }
+        if buf.has_remaining() {
+            return Err(TraceFileError::Malformed("trailing bytes after records"));
         }
         Ok(VecTrace::new(name, instructions))
     }
@@ -182,11 +360,16 @@ mod tests {
         (0..n).map(|_| t.next_instruction().unwrap()).collect()
     }
 
+    fn written(name: &str, insts: &[Instruction]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        TraceWriter::write(&mut buf, name, insts).unwrap();
+        buf
+    }
+
     #[test]
     fn roundtrip_through_memory_buffer() {
         let insts = sample_trace(500);
-        let mut buf = Vec::new();
-        TraceWriter::write(&mut buf, "roundtrip", &insts).unwrap();
+        let buf = written("roundtrip", &insts);
         let mut replay = TraceReader::read(&mut buf.as_slice()).unwrap();
         assert_eq!(replay.name(), "roundtrip");
         assert_eq!(replay.len(), 500);
@@ -194,6 +377,19 @@ mod tests {
             assert_eq!(replay.next_instruction().as_ref(), Some(want));
         }
         assert!(replay.next_instruction().is_none());
+    }
+
+    #[test]
+    fn varint_packing_beats_fixed_width() {
+        // The v1 format spent >= 10 bytes per record; delta-packed varints
+        // should do visibly better on a real instruction mix.
+        let insts = sample_trace(2000);
+        let buf = written("size", &insts);
+        let per_record = (buf.len() as f64) / 2000.0;
+        assert!(
+            per_record < 10.0,
+            "expected < 10 bytes/record, got {per_record:.2}"
+        );
     }
 
     #[test]
@@ -210,9 +406,7 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        let insts = sample_trace(3);
-        let mut buf = Vec::new();
-        TraceWriter::write(&mut buf, "x", &insts).unwrap();
+        let mut buf = written("x", &sample_trace(3));
         buf[0] = b'X';
         match TraceReader::read(&mut buf.as_slice()) {
             Err(TraceFileError::BadMagic) => {}
@@ -221,14 +415,42 @@ mod tests {
     }
 
     #[test]
-    fn truncation_detected() {
-        let insts = sample_trace(50);
-        let mut buf = Vec::new();
-        TraceWriter::write(&mut buf, "x", &insts).unwrap();
-        let cut = &buf[..buf.len() / 2];
-        match TraceReader::read(&mut &cut[..]) {
-            Err(TraceFileError::Truncated) | Err(TraceFileError::BadInstruction(_)) => {}
-            other => panic!("expected truncation error, got {other:?}"),
+    fn every_truncation_is_rejected() {
+        let buf = written("x", &sample_trace(40));
+        for cut in 0..buf.len() {
+            match TraceReader::read(&mut &buf[..cut]) {
+                Err(
+                    TraceFileError::Truncated
+                    | TraceFileError::ChecksumMismatch
+                    | TraceFileError::BadMagic,
+                ) => {}
+                other => panic!("cut at {cut}: expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let buf = written("x", &sample_trace(25));
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                TraceReader::read(&mut bad.as_slice()).is_err(),
+                "flip at byte {i} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_reported_before_decode() {
+        let mut buf = written("x", &sample_trace(10));
+        // Corrupt a record byte (past magic + name + count, before tail).
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xff;
+        match TraceReader::read(&mut buf.as_slice()) {
+            Err(TraceFileError::ChecksumMismatch) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
         }
     }
 
@@ -242,19 +464,116 @@ mod tests {
 
     #[test]
     fn empty_trace_roundtrips() {
-        let mut buf = Vec::new();
-        TraceWriter::write(&mut buf, "empty", &[]).unwrap();
+        let buf = written("empty", &[]);
         let replay = TraceReader::read(&mut buf.as_slice()).unwrap();
         assert_eq!(replay.len(), 0);
         assert!(replay.is_empty());
     }
 
     #[test]
+    fn writes_are_deterministic() {
+        let insts = sample_trace(100);
+        assert_eq!(written("d", &insts), written("d", &insts));
+    }
+
+    #[test]
     fn error_display_messages() {
-        let e = TraceFileError::BadMagic;
-        assert!(e.to_string().contains("magic"));
+        assert!(TraceFileError::BadMagic.to_string().contains("magic"));
+        assert!(TraceFileError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
         let e = TraceFileError::Io(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
+        let e = TraceFileError::BadVarint(VarintError::Truncated);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn extreme_field_values_roundtrip() {
+        let insts = vec![
+            Instruction::new(u64::MAX, OpClass::LoadInt)
+                .with_dest(ArchReg::int(31))
+                .with_src1(ArchReg::int(0))
+                .with_mem(u64::MAX, 255),
+            Instruction::new(0, OpClass::CondBranch)
+                .with_src1(ArchReg::fp(31))
+                .with_branch(BranchInfo::new(false, u64::MAX)),
+            Instruction::new(u64::MAX / 2, OpClass::Nop),
+        ];
+        let buf = written("edge", &insts);
+        let mut replay = TraceReader::read(&mut buf.as_slice()).unwrap();
+        for want in &insts {
+            assert_eq!(replay.next_instruction().as_ref(), Some(want));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = ArchReg> {
+        (any::<bool>(), 0u8..32)
+            .prop_map(|(fp, i)| if fp { ArchReg::fp(i) } else { ArchReg::int(i) })
+    }
+
+    fn arb_instruction() -> impl Strategy<Value = Instruction> {
+        (
+            any::<u64>(),
+            0u8..13,
+            prop::option::of(arb_reg()),
+            prop::option::of(arb_reg()),
+            prop::option::of(arb_reg()),
+            prop::option::of((any::<u64>(), any::<u8>())),
+            prop::option::of((any::<bool>(), any::<u64>())),
+        )
+            .prop_map(|(pc, tag, dest, src1, src2, mem, branch)| {
+                let mut inst = Instruction::new(pc, OpClass::from_tag(tag).unwrap());
+                inst.dest = dest;
+                inst.src1 = src1;
+                inst.src2 = src2;
+                inst.mem = mem.map(|(a, s)| MemRef::new(a, s));
+                inst.branch = branch.map(|(t, tgt)| BranchInfo::new(t, tgt));
+                inst
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_instruction_sequences_roundtrip(
+            insts in prop::collection::vec(arb_instruction(), 0..64),
+            name_bytes in prop::collection::vec(any::<u8>(), 0..24),
+        ) {
+            let name: String = name_bytes
+                .into_iter()
+                .map(|b| char::from(b'a' + b % 26))
+                .collect();
+            let mut buf = Vec::new();
+            TraceWriter::write(&mut buf, &name, &insts).unwrap();
+            let mut replay = TraceReader::read(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(replay.name(), &name[..]);
+            for want in &insts {
+                prop_assert_eq!(replay.next_instruction().as_ref(), Some(want));
+            }
+            prop_assert!(replay.next_instruction().is_none());
+        }
+
+        #[test]
+        fn reading_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = TraceReader::read(&mut bytes.as_slice());
+        }
+
+        #[test]
+        fn valid_prefix_plus_garbage_never_panics(
+            insts in prop::collection::vec(arb_instruction(), 0..16),
+            garbage in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut buf = Vec::new();
+            TraceWriter::write(&mut buf, "t", &insts).unwrap();
+            buf.extend_from_slice(&garbage);
+            let _ = TraceReader::read(&mut buf.as_slice());
+        }
     }
 }

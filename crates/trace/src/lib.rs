@@ -20,6 +20,10 @@
 //! * [`MultiProgramTrace`] / [`ThreadWorkload`] — the paper's multithreaded
 //!   workload construction ("each thread consists of a sequence of traces
 //!   from all SpecFP95 programs, in a different order for each thread");
+//! * [`Program`] / [`ProgramTrace`] / [`ProgramWorkload`] — *assembled*
+//!   workloads: static programs (built by hand or by the `dsmt-asm`
+//!   assembler) interpreted into dynamic instruction streams, so threads
+//!   can run genuinely heterogeneous code;
 //! * [`TraceWriter`] / [`TraceReader`] — a compact binary trace file format
 //!   so real traces can be captured, stored and replayed.
 //!
@@ -40,6 +44,7 @@
 mod addr;
 mod file;
 mod profile;
+mod program;
 mod source;
 mod stats;
 mod synth;
@@ -48,6 +53,10 @@ mod workload;
 pub use addr::{ArrayStream, ScalarRegion};
 pub use file::{TraceFileError, TraceReader, TraceWriter, TRACE_MAGIC};
 pub use profile::{spec_fp95_profile, spec_fp95_profiles, BenchmarkProfile};
+pub use program::{
+    AluOp, Cond, Operand, ProgInst, ProgOp, Program, ProgramTrace, ProgramWorkload, ACCESS_BYTES,
+    INST_BYTES,
+};
 pub use source::{TraceSource, VecTrace};
 pub use stats::TraceStats;
 pub use synth::SyntheticTrace;

@@ -1,0 +1,84 @@
+//! Golden fixture pinning the `DSMTTRC2` trace-file byte layout.
+//!
+//! The writer/reader unit tests in `src/file.rs` cover round-trips,
+//! truncation and corruption; this fixture is what actually fails CI when
+//! the on-disk layout drifts (header, varint packing, delta encoding or
+//! the FNV trailer).
+//!
+//! Regenerate intentionally with
+//! `DSMT_REGEN_GOLDEN=1 cargo test -p dsmt-trace --test trace_file_golden`.
+
+use std::path::PathBuf;
+
+use dsmt_isa::{ArchReg, BranchInfo, Instruction, OpClass};
+use dsmt_trace::{TraceReader, TraceSource, TraceWriter};
+
+/// A small sequence exercising every record feature: forward and backward
+/// pc deltas, every optional field, fp and int registers, taken and
+/// not-taken branches, and large address deltas.
+fn fixture_instructions() -> Vec<Instruction> {
+    vec![
+        Instruction::new(0x1000, OpClass::IntAlu)
+            .with_dest(ArchReg::int(1))
+            .with_src1(ArchReg::int(2))
+            .with_src2(ArchReg::int(31)),
+        Instruction::new(0x1004, OpClass::LoadFp)
+            .with_dest(ArchReg::fp(2))
+            .with_src1(ArchReg::int(1))
+            .with_mem(0x4000_0000, 8),
+        Instruction::new(0x1008, OpClass::StoreInt)
+            .with_src1(ArchReg::int(5))
+            .with_src2(ArchReg::int(1))
+            .with_mem(0x8, 8),
+        Instruction::new(0x100c, OpClass::CondBranch)
+            .with_src1(ArchReg::int(1))
+            .with_branch(BranchInfo::taken(0x1000)),
+        Instruction::new(0x1000, OpClass::FpMul)
+            .with_dest(ArchReg::fp(0))
+            .with_src1(ArchReg::fp(1))
+            .with_src2(ArchReg::fp(2)),
+        Instruction::new(0x1004, OpClass::UncondBranch).with_branch(BranchInfo::not_taken()),
+        Instruction::new(0x1008, OpClass::Nop),
+    ]
+}
+
+#[test]
+fn golden_fixture_pins_the_on_disk_layout() {
+    let mut encoded = Vec::new();
+    TraceWriter::write(&mut encoded, "golden", &fixture_instructions()).expect("encodes");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fixture.trc");
+    if std::env::var("DSMT_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &encoded).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with DSMT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        encoded, golden,
+        "DSMTTRC2 layout drifted; if intentional, bump the magic and \
+         regenerate with DSMT_REGEN_GOLDEN=1"
+    );
+
+    let mut replay = TraceReader::read(&mut golden.as_slice()).expect("golden decodes");
+    assert_eq!(replay.name(), "golden");
+    let mut decoded = Vec::new();
+    while let Some(inst) = replay.next_instruction() {
+        decoded.push(inst);
+    }
+    assert_eq!(decoded, fixture_instructions());
+}
+
+#[test]
+fn golden_header_bytes_are_as_documented() {
+    let mut encoded = Vec::new();
+    TraceWriter::write(&mut encoded, "golden", &fixture_instructions()).expect("encodes");
+    assert_eq!(&encoded[..8], b"DSMTTRC2");
+    assert_eq!(encoded[8], 6, "name length uvarint");
+    assert_eq!(&encoded[9..15], b"golden");
+    assert_eq!(encoded[15], 7, "record count uvarint");
+}

@@ -1,0 +1,32 @@
+# Branch-heavy scanner.
+#
+# Walks a 16 KiB array counting words that match a bit mask loaded from
+# the data image. The array cells are seed hashes, so the data-dependent
+# branch is essentially a coin flip: the thread mispredicts constantly
+# and keeps squashing its own fetch stream.
+
+        .org 0x1000
+start:
+        li   r1, 0x4000            # array base
+        li   r3, 2048              # elements
+        li   r2, 0                 # index
+        li   r5, 0                 # match count
+        li   r8, mask
+        ldq  r8, 0(r8)             # the test mask comes from the data image
+loop:
+        slli r4, r2, 3
+        add  r4, r1, r4            # r4 = &array[index]
+        ldq  r6, 0(r4)
+        and  r7, r6, r8
+        bz   r7, skip
+        addi r5, r5, 1
+skip:
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        stq  r5, 0(r1)             # publish the count
+        halt
+
+# One preloaded cell: the scanner's test mask.
+        .org 0x3ff0
+mask:
+        .word 1

@@ -1,0 +1,25 @@
+# Compute-bound floating-point kernel.
+#
+# A dependence chain of FP multiplies and adds over an 8 KiB vector that
+# lives comfortably in the L1: plenty of Execute Processor work, almost
+# no memory stalls, and a perfectly predictable counted loop. This
+# thread's fetch buffer drains steadily, so it profits from every fetch
+# slot a clogged neighbour gives up.
+
+        .org 0x1000
+start:
+        li   r1, 0x8000            # vector base
+        li   r2, 1024              # elements per pass
+        li   r3, 8                 # stride
+loop:
+        ldt  f1, 0(r1)
+        ldt  f2, 8(r1)
+        fmul f3, f1, f2
+        fadd f4, f3, f1
+        fmul f5, f4, f2
+        fadd f6, f5, f4
+        fadd f0, f0, f6            # running accumulator
+        add  r1, r1, r3
+        subi r2, r2, 1
+        bnz  r2, loop
+        halt

@@ -1,0 +1,21 @@
+# Memory-bound pointer chaser.
+#
+# Serially dependent loads walk a pseudo-random 4 MiB table -- far larger
+# than the 64 KiB L1 -- so almost every chase step misses and the next
+# step cannot even compute its address until the miss returns. The
+# thread's fetch buffer stays clogged behind the load chain, which is
+# exactly the behaviour that lets I-COUNT deprioritise it.
+
+        .org 0x1000
+start:
+        li   r1, 0x400000          # table base
+        li   r3, 0x3ffff8          # offset mask keeps the walk inside 4 MiB
+        li   r4, 4096              # chase steps per pass
+        li   r2, 0                 # current offset
+loop:
+        add  r5, r1, r2            # r5 = &table[offset]
+        ldq  r6, 0(r5)             # dependent load: the next link
+        and  r2, r6, r3            # next offset comes from the loaded value
+        subi r4, r4, 1
+        bnz  r4, loop
+        halt

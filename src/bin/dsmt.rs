@@ -4,6 +4,8 @@
 //! a filesystem:
 //!
 //! ```text
+//! dsmt asm build <file.s>... [--out-dir DIR]
+//! dsmt asm inspect <file.s|file.dsmtasm> [--expand N] [--seed S]
 //! dsmt shard plan <grid> --shards N [--strategy S] [--out plan.json]
 //! dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
 //!                [--store DIR | --out-dir DIR] [--workers W]
@@ -26,13 +28,18 @@
 //! dsmt client cell <key> | metrics [--addr HOST:PORT]
 //! ```
 //!
+//! `dsmt asm build` assembles `.s` sources into checksummed `DSMTASM1`
+//! artifacts; `dsmt asm inspect` summarises a source or artifact and, with
+//! `--expand N`, renders the first N interpreted instructions as canonical
+//! trace text.
+//!
 //! `<grid>` is either a path to a `SweepGrid` JSON file or a built-in name:
-//! `demo`, `fetch-policy`, `seed-variance`, the figure grids (`fig1`,
-//! `fig3`, `fig4`, `fig5-l2-16`, `fig5-l2-64`) and the ablations
-//! (`ablation-iq-depth`, `ablation-mshr`, `ablation-unit-split`,
-//! `ablation-l1-assoc`). Built-in figure grids honour `DSMT_INSTS`;
-//! caching honours `DSMT_SWEEP_CACHE` and `DSMT_SWEEP_CACHE_MAX_BYTES`
-//! like every other binary.
+//! `demo`, `fetch-policy`, `fetch-policy-hetero`, `seed-variance`, the
+//! figure grids (`fig1`, `fig3`, `fig4`, `fig5-l2-16`, `fig5-l2-64`) and
+//! the ablations (`ablation-iq-depth`, `ablation-mshr`,
+//! `ablation-unit-split`, `ablation-l1-assoc`). Built-in figure grids
+//! honour `DSMT_INSTS`; caching honours `DSMT_SWEEP_CACHE` and
+//! `DSMT_SWEEP_CACHE_MAX_BYTES` like every other binary.
 //!
 //! `--store DIR` selects the **store transport**: shard outputs are
 //! published into (and merged back out of) a `dsmt-store` directory,
@@ -63,7 +70,8 @@ use std::path::{Path, PathBuf};
 
 use dsmt_core::SimConfig;
 use dsmt_experiments::{
-    ablations, fetch_policy, fig1, fig3, fig4, fig5, seed_variance, ExperimentParams,
+    ablations, fetch_policy, fetch_policy_hetero, fig1, fig3, fig4, fig5, seed_variance,
+    ExperimentParams,
 };
 use dsmt_shard::{
     merge_from, plan, recover, run_shard, shard_file_name, DsrFile, RecoverOptions, ShardManifest,
@@ -79,6 +87,8 @@ const USAGE: &str = "\
 dsmt — sharded sweeps, result-store tooling and report export
 
 USAGE:
+  dsmt asm build <file.s>... [--out-dir DIR]
+  dsmt asm inspect <file.s|file.dsmtasm> [--expand N] [--seed S]
   dsmt shard plan <grid> --shards N [--strategy contiguous|strided|hashed] [--out plan.json]
   dsmt shard run <plan.json> --index I | --missing [--steal-after SECS]
                  [--store DIR | --out-dir DIR] [--workers W]
@@ -109,9 +119,9 @@ TRANSPORTS:
 
 GRIDS:
   a path to a SweepGrid JSON file, or a built-in name:
-  demo, fetch-policy, seed-variance, fig1, fig3, fig4, fig5-l2-16,
-  fig5-l2-64, ablation-iq-depth, ablation-mshr, ablation-unit-split,
-  ablation-l1-assoc
+  demo, fetch-policy, fetch-policy-hetero, seed-variance, fig1, fig3,
+  fig4, fig5-l2-16, fig5-l2-64, ablation-iq-depth, ablation-mshr,
+  ablation-unit-split, ablation-l1-assoc
 
 ENVIRONMENT:
   DSMT_INSTS                  instructions per cell for built-in figure grids
@@ -135,6 +145,7 @@ fn main() {
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
+        Some("asm") => asm_cmd(&args[1..]),
         Some("shard") => shard_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("store") => store_cmd(&args[1..]),
@@ -224,6 +235,7 @@ fn builtin_grids() -> Vec<SweepGrid> {
     let mut grids = vec![
         demo_grid(),
         fetch_policy::grid(&params),
+        fetch_policy_hetero::grid(&params),
         seed_variance::grid(&params),
     ];
     grids.push(fig1::grid(&params));
@@ -262,6 +274,97 @@ fn resolve_grid(spec: &str) -> Result<SweepGrid, String> {
         "`{spec}` is neither a grid JSON file nor a built-in grid (available: {})",
         names.join(", ")
     ))
+}
+
+// ---------------------------------------------------------------------------
+// dsmt asm ...
+
+fn asm_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => asm_build(&args[1..]),
+        Some("inspect") => asm_inspect(&args[1..]),
+        _ => Err(format!("usage: dsmt asm build|inspect ...\n\n{USAGE}")),
+    }
+}
+
+/// Loads a program from either a `.s` source (assembled on the spot, name
+/// = file stem) or a `.dsmtasm` artifact (decoded and checksum-verified).
+fn load_program(path: &str) -> Result<dsmt_trace::Program, String> {
+    if path.ends_with(".dsmtasm") {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        return dsmt_asm::decode_program(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    dsmt_asm::assemble(name, &source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn asm_build(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["out-dir"])?;
+    if p.positional.is_empty() {
+        return Err("usage: dsmt asm build <file.s>... [--out-dir DIR]".into());
+    }
+    let out_dir = p.flag("out-dir").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    for path in &p.positional {
+        let program = load_program(path)?;
+        let bytes = dsmt_asm::encode_program(&program);
+        let out = out_dir
+            .as_deref()
+            .unwrap_or_else(|| Path::new(path).parent().unwrap_or(Path::new(".")))
+            .join(format!("{}.dsmtasm", program.name));
+        std::fs::write(&out, &bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+        println!(
+            "{path}: `{}` {} instructions, {} data cells -> {} ({} bytes, fnv {:#018x})",
+            program.name,
+            program.code.len(),
+            program.data.len(),
+            out.display(),
+            bytes.len(),
+            dsmt_isa::fnv1a64(&bytes),
+        );
+    }
+    Ok(())
+}
+
+fn asm_inspect(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["expand", "seed"])?;
+    let [path] = p.positional.as_slice() else {
+        return Err("usage: dsmt asm inspect <file.s|file.dsmtasm> [--expand N] [--seed S]".into());
+    };
+    let program = load_program(path)?;
+    println!(
+        "program `{}`: {} instructions, {} data cells",
+        program.name,
+        program.code.len(),
+        program.data.len(),
+    );
+    let artifact = dsmt_asm::encode_program(&program);
+    println!(
+        "artifact: {} bytes, fnv {:#018x}",
+        artifact.len(),
+        dsmt_isa::fnv1a64(&artifact),
+    );
+    if let Some(limit) = p.usize_flag("expand")? {
+        let seed = p.usize_flag("seed")?.unwrap_or(0) as u64;
+        let insts = program.expand(seed, limit as u64);
+        // Canonical trace text — `dsmt_asm::parse_trace` reads it back.
+        print!("{}", dsmt_isa::text::render_trace(&insts));
+        let classes = dsmt_isa::OpClass::ALL
+            .iter()
+            .map(|&c| (c.mnemonic(), insts.iter().filter(|i| i.op == c).count()))
+            .filter(|&(_, n)| n > 0)
+            .map(|(m, n)| format!("{m} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!("expanded {} (seed {seed}): {classes}", insts.len());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
